@@ -1,0 +1,401 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (plus the Section 4 extensions and the DESIGN.md ablations).
+// Each benchmark exercises the code path behind the corresponding
+// experiment; the cmd/paperbench binary prints the full paper-style
+// sweeps, while these report ns/op plus the relevant work/depth counters
+// as custom metrics.
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench=Table1                 # one artifact
+//	go run ./cmd/paperbench -all          # full paper-style tables
+package planarsi_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"planarsi"
+	"planarsi/internal/colorcode"
+	"planarsi/internal/conn"
+	"planarsi/internal/cover"
+	"planarsi/internal/estc"
+	"planarsi/internal/flow"
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+	"planarsi/internal/naive"
+	"planarsi/internal/pmdag"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/wd"
+)
+
+// ---- Table 1: deciding subgraph isomorphism, ours vs baselines ----
+
+func BenchmarkTable1DecideOurs(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, uint64(n)))
+			g := graph.RandomPlanar(n, 0.7, rng)
+			h := graph.Cycle(4)
+			tr := wd.NewTracker()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				found, err := planarsi.Decide(g, h, planarsi.Options{Seed: uint64(i), Tracker: tr})
+				if err != nil || !found {
+					b.Fatalf("decide: %v %v", found, err)
+				}
+			}
+			b.ReportMetric(float64(tr.Work())/float64(b.N), "work/op")
+		})
+	}
+}
+
+func BenchmarkTable1DecideNaive(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, uint64(n)))
+			g := graph.RandomPlanar(n, 0.7, rng)
+			h := graph.Cycle(4)
+			var work int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(naive.Search(g, h, naive.Options{Limit: 1, CountWork: &work})) == 0 {
+					b.Fatal("naive missed the pattern")
+				}
+			}
+			b.ReportMetric(float64(work)/float64(b.N), "work/op")
+		})
+	}
+}
+
+func BenchmarkTable1ColorCoding(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, uint64(n)))
+			g := graph.RandomPlanar(n, 0.7, rng)
+			h := graph.Path(4)
+			var work int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				found, err := colorcode.Decide(g, h, colorcode.Options{CountWork: &work},
+					rand.New(rand.NewPCG(uint64(i), 7)), nil)
+				if err != nil || !found {
+					b.Fatalf("colorcode: %v %v", found, err)
+				}
+			}
+			b.ReportMetric(float64(work)/float64(b.N), "work/op")
+		})
+	}
+}
+
+// ---- Figure 1: band tree decompositions ----
+
+func BenchmarkFig1BandDecomposition(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	g := graph.Grid(40, 40)
+	cov := cover.Build(g, cover.Params{K: 4, D: 2}, rng, nil)
+	b.ResetTimer()
+	maxWidth := 0
+	for i := 0; i < b.N; i++ {
+		for _, band := range cov.Bands {
+			td := treedecomp.Build(band.G, treedecomp.MinDegree)
+			if w := td.Width(); w > maxWidth {
+				maxWidth = w
+			}
+		}
+	}
+	b.ReportMetric(float64(maxWidth), "max-width")
+}
+
+// ---- Figure 2: exponential start time clustering ----
+
+func BenchmarkFig2Clustering(b *testing.B) {
+	for _, beta := range []float64{2, 8, 16} {
+		b.Run(fmt.Sprintf("beta=%.0f", beta), func(b *testing.B) {
+			g := graph.Grid(64, 64)
+			rng := rand.New(rand.NewPCG(3, uint64(beta)))
+			tr := wd.NewTracker()
+			cut := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl := estc.Cluster(g, beta, rng, tr)
+				cut += cl.CrossingEdges(g)
+			}
+			b.ReportMetric(float64(cut)/float64(b.N*g.M()), "cut-frac")
+			b.ReportMetric(float64(tr.PhaseRounds("estc"))/float64(b.N), "rounds/op")
+		})
+	}
+}
+
+// ---- Figure 3: parallel treewidth k-d cover ----
+
+func BenchmarkFig3Cover(b *testing.B) {
+	for _, d := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			g := graph.Grid(48, 48)
+			rng := rand.New(rand.NewPCG(4, uint64(d)))
+			size := 0
+			rounds := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cov := cover.Build(g, cover.Params{K: 4, D: d}, rng, nil)
+				size += cov.TotalSize()
+				rounds += cov.BFSRounds
+			}
+			b.ReportMetric(float64(size)/float64(b.N*g.N()), "size/n")
+			b.ReportMetric(float64(rounds)/float64(b.N), "bfs-rounds/op")
+		})
+	}
+}
+
+// ---- Figure 4: bounded-treewidth DP ----
+
+func BenchmarkFig4DP(b *testing.B) {
+	for _, k := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(5, uint64(k)))
+			g := graph.RandomPlanar(400, 0.5, rng)
+			nd := treedecomp.MakeNice(treedecomp.Build(g, treedecomp.MinDegree))
+			h := graph.Path(k)
+			b.ResetTimer()
+			var states int64
+			for i := 0; i < b.N; i++ {
+				eng := match.Run(&match.Problem{G: g, H: h, ND: nd}, nil)
+				states += eng.StatesGenerated()
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+// ---- Figure 5: path-DAG engine with shortcuts ----
+
+func BenchmarkFig5PathDAG(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Path(n)
+			h := graph.Path(4)
+			nd := treedecomp.MakeNice(treedecomp.Build(g, treedecomp.MinDegree))
+			p := &match.Problem{G: g, H: h, ND: nd}
+			b.ResetTimer()
+			hops := 0
+			for i := 0; i < b.N; i++ {
+				eng, stats := pmdag.Run(p, nil)
+				if !eng.Found() {
+					b.Fatal("P4 not found")
+				}
+				hops = stats.MaxHops
+			}
+			b.ReportMetric(float64(hops), "bfs-hops")
+		})
+	}
+}
+
+// ---- Figure 6: planar vertex connectivity ----
+
+func BenchmarkFig6Connectivity(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"cycle", graph.Cycle(200), 2},
+		{"wheel", graph.Wheel(40), 3},
+		{"bipyramid", graph.Bipyramid(24), 4},
+		{"icosahedron", graph.Icosahedron(), 5},
+	}
+	for _, fam := range families {
+		b.Run(fam.name, func(b *testing.B) {
+			tr := wd.NewTracker()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := conn.VertexConnectivity(fam.g, conn.Options{Seed: uint64(i), MaxRuns: 8, Tracker: tr})
+				if err != nil || res.Connectivity != fam.want {
+					b.Fatalf("connectivity %d, want %d (%v)", res.Connectivity, fam.want, err)
+				}
+			}
+			b.ReportMetric(float64(tr.Work())/float64(b.N), "work/op")
+		})
+	}
+}
+
+func BenchmarkFig6FlowOracle(b *testing.B) {
+	g := graph.Bipyramid(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if flow.VertexConnectivity(g) != 4 {
+			b.Fatal("oracle disagrees")
+		}
+	}
+}
+
+// ---- Figure 7: separating subgraph isomorphism ----
+
+func BenchmarkFig7Separating(b *testing.B) {
+	rim := 8
+	bld := graph.NewBuilder(rim + 2)
+	for i := 0; i < rim; i++ {
+		bld.AddEdge(int32(i), int32((i+1)%rim))
+		bld.AddEdge(int32(i), int32(rim))
+		bld.AddEdge(int32(i), int32(rim+1))
+	}
+	g := bld.Build()
+	s := make([]bool, g.N())
+	s[rim], s[rim+1] = true, true
+	h := graph.Cycle(rim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ, err := planarsi.DecideSeparating(g, h, s, planarsi.Options{Seed: uint64(i)})
+		if err != nil || occ == nil {
+			b.Fatalf("separating rim not found: %v", err)
+		}
+	}
+}
+
+// ---- Theorem 4.2: listing all occurrences ----
+
+func BenchmarkListAll(b *testing.B) {
+	g := graph.Grid(8, 8)
+	h := graph.Cycle(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occs, err := planarsi.ListOccurrences(g, h, planarsi.Options{Seed: uint64(i)})
+		if err != nil || len(occs) != 7*7*8 {
+			b.Fatalf("listed %d, want %d (%v)", len(occs), 7*7*8, err)
+		}
+	}
+}
+
+// ---- Lemma 4.1: disconnected patterns ----
+
+func BenchmarkDisconnected(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	g := graph.RandomPlanar(60, 0.7, rng)
+	h := graph.DisjointUnion(graph.Path(2), graph.Path(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := planarsi.Decide(g, h, planarsi.Options{Seed: uint64(i)})
+		if err != nil || !found {
+			b.Fatalf("disconnected decide: %v %v", found, err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md) ----
+
+func BenchmarkAblationEngineSequential(b *testing.B) {
+	g := graph.Path(1024)
+	h := graph.Path(4)
+	nd := treedecomp.MakeNice(treedecomp.Build(g, treedecomp.MinDegree))
+	p := &match.Problem{G: g, H: h, ND: nd}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !match.Run(p, nil).Found() {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkAblationEnginePathDAG(b *testing.B) {
+	g := graph.Path(1024)
+	h := graph.Path(4)
+	nd := treedecomp.MakeNice(treedecomp.Build(g, treedecomp.MinDegree))
+	p := &match.Problem{G: g, H: h, ND: nd}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, _ := pmdag.Run(p, nil)
+		if !eng.Found() {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkAblationBeta(b *testing.B) {
+	for _, beta := range []float64{2, 8, 32} {
+		b.Run(fmt.Sprintf("beta=%.0f", beta), func(b *testing.B) {
+			g := graph.Grid(32, 32)
+			rng := rand.New(rand.NewPCG(8, uint64(beta)))
+			b.ResetTimer()
+			size := 0
+			for i := 0; i < b.N; i++ {
+				cov := cover.Build(g, cover.Params{K: 4, D: 2, Beta: beta}, rng, nil)
+				size += cov.TotalSize()
+			}
+			b.ReportMetric(float64(size)/float64(b.N*g.N()), "size/n")
+		})
+	}
+}
+
+func BenchmarkAblationShortcutPaper(b *testing.B) {
+	benchShortcut(b, pmdag.Config{})
+}
+
+func BenchmarkAblationShortcutDense(b *testing.B) {
+	benchShortcut(b, pmdag.Config{ShortcutSpacing: 1})
+}
+
+func benchShortcut(b *testing.B, cfg pmdag.Config) {
+	g := graph.Path(2048)
+	h := graph.Path(4)
+	nd := treedecomp.MakeNice(treedecomp.Build(g, treedecomp.MinDegree))
+	p := &match.Problem{G: g, H: h, ND: nd}
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		eng, stats := pmdag.RunConfig(p, cfg, nil)
+		if !eng.Found() {
+			b.Fatal("missed")
+		}
+		edges = stats.ShortcutEdges
+	}
+	b.ReportMetric(float64(edges), "shortcut-edges")
+}
+
+func BenchmarkAblationTDMinDegree(b *testing.B) { benchTD(b, treedecomp.MinDegree) }
+func BenchmarkAblationTDMinFill(b *testing.B)   { benchTD(b, treedecomp.MinFill) }
+
+// Depth reduction the paper avoids (Section 3.3 / Ablation A5): DP over
+// the Bodlaender-Hagerup-balanced decomposition vs the path-DAG engine.
+func BenchmarkAblationBalancedDP(b *testing.B) {
+	g := graph.Path(1024)
+	h := graph.Path(4)
+	bal := treedecomp.Balance(treedecomp.Build(g, treedecomp.MinDegree))
+	nd := treedecomp.MakeNice(bal)
+	p := &match.Problem{G: g, H: h, ND: nd}
+	b.ResetTimer()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		eng := match.Run(p, nil)
+		if !eng.Found() {
+			b.Fatal("missed")
+		}
+		states = eng.StatesGenerated()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// ---- Theorem 4.4: bounded-genus targets (Section 4.3) ----
+
+func BenchmarkGenusTorusDecide(b *testing.B) {
+	g := graph.TorusGrid(20, 20)
+	h := graph.Cycle(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := planarsi.Decide(g, h, planarsi.Options{Seed: uint64(i)})
+		if err != nil || !found {
+			b.Fatalf("torus decide: %v %v", found, err)
+		}
+	}
+}
+
+func benchTD(b *testing.B, h treedecomp.Heuristic) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	g := graph.Apollonian(300, rng)
+	cov := cover.Build(g, cover.Params{K: 4, D: 2}, rng, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, band := range cov.Bands {
+			treedecomp.Build(band.G, h)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command paperbench regenerates the paper's tables and figures as
+// empirical measurements and prints them in paper-style rows.
+//
+// Usage:
+//
+//	paperbench -all                 # every experiment, full sweeps
+//	paperbench -run table1,fig6    # selected experiments
+//	paperbench -quick -all          # shrunken sweeps for a fast pass
+//	paperbench -list                # available experiment ids
+//
+// Exit status is nonzero when any shape check fails, so the harness can
+// gate CI on the paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"planarsi/internal/experiments"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	run := flag.String("run", "", "comma-separated experiment ids (see -list)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Uint64("seed", 2020, "random seed (SPAA 2020)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var tables []*experiments.Table
+	switch {
+	case *all:
+		tables = experiments.All(cfg)
+	case *run != "":
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			f := experiments.ByName(name)
+			if f == nil {
+				fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			tables = append(tables, f(cfg))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, t := range tables {
+		fmt.Println(t.String())
+		if t.Failed() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "paperbench: at least one shape check FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command subiso decides, finds, lists or counts occurrences of a pattern
+// graph inside a target graph using the paper's parallel planar subgraph
+// isomorphism pipeline.
+//
+// Usage:
+//
+//	subiso -target g.edges -pattern h.edges                 # decide
+//	subiso -target g.edges -pattern h.edges -mode find      # one witness
+//	subiso -target g.edges -pattern h.edges -mode list      # all occurrences
+//	subiso -target g.edges -pattern h.edges -mode count
+//
+// Both files use the edge-list format: one "u v" pair per line, '#'
+// comments, optional "n <count>" header. The pattern may be disconnected
+// in decide mode. With -stats, work/depth counters and pipeline
+// statistics are printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"planarsi"
+	"planarsi/internal/gio"
+)
+
+func main() {
+	target := flag.String("target", "", "target graph edge-list file (required)")
+	pattern := flag.String("pattern", "", "pattern graph edge-list file (required)")
+	mode := flag.String("mode", "decide", "decide | find | list | count")
+	seed := flag.Uint64("seed", 1, "random seed")
+	runs := flag.Int("runs", 0, "cover repetitions (0 = w.h.p. default)")
+	stats := flag.Bool("stats", false, "print work/depth statistics to stderr")
+	flag.Parse()
+
+	if *target == "" || *pattern == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := gio.ReadEdgeListFile(*target)
+	if err != nil {
+		fatal("target: %v", err)
+	}
+	h, err := gio.ReadEdgeListFile(*pattern)
+	if err != nil {
+		fatal("pattern: %v", err)
+	}
+
+	opt := planarsi.Options{Seed: *seed, MaxRuns: *runs}
+	var st planarsi.Stats
+	if *stats {
+		opt.Tracker = planarsi.NewTracker()
+		opt.Stats = &st
+	}
+
+	switch *mode {
+	case "decide":
+		found, err := planarsi.Decide(g, h, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(found)
+		report(opt, st)
+		if !found {
+			os.Exit(1)
+		}
+	case "find":
+		occ, err := planarsi.FindOccurrence(g, h, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		report(opt, st)
+		if occ == nil {
+			fmt.Println("not found")
+			os.Exit(1)
+		}
+		printOccurrence(occ)
+	case "list":
+		occs, err := planarsi.ListOccurrences(g, h, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, occ := range occs {
+			printOccurrence(occ)
+		}
+		report(opt, st)
+	case "count":
+		count, err := planarsi.CountOccurrences(g, h, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(count)
+		report(opt, st)
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+}
+
+func printOccurrence(occ planarsi.Occurrence) {
+	for u, v := range occ {
+		if u > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%d->%d", u, v)
+	}
+	fmt.Println()
+}
+
+func report(opt planarsi.Options, st planarsi.Stats) {
+	if opt.Tracker == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "stats: %s runs=%d bands=%d maxWidth=%d fallback=%d\n",
+		opt.Tracker, st.Runs, st.Bands, st.MaxBandWidth, st.FallbackBands)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "subiso: "+format+"\n", args...)
+	os.Exit(2)
+}

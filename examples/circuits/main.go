@@ -1,0 +1,92 @@
+// Circuits: locating subcircuits inside a planar netlist, the electronic
+// design application from the paper's introduction (Ohlrich et al.,
+// "SubGemini", DAC 1993 [44]).
+//
+// Circuits are laid out without wire crossings, so their connection
+// graphs are planar. We build a VLSI-like netlist — a grid of standard
+// cells with local routing — and search for functional unit shapes:
+// a half-adder-like diamond, a buffer chain, and a fanout tree.
+//
+// Run with: go run ./examples/circuits
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planarsi"
+)
+
+// netlist builds a planar "standard cell row" layout: rows of cells, each
+// connected to its row neighbors, with periodic vertical straps and local
+// diamond structures where a driver fans out to two sinks that reconverge.
+func netlist(rows, cols int) *planarsi.Graph {
+	n := rows * cols
+	b := planarsi.NewBuilder(n)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1)) // row routing
+			}
+			// Vertical straps every 4th column.
+			if r+1 < rows && c%4 == 0 {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			// Reconvergent fanout (diamond) every 5th cell pair.
+			if r+1 < rows && c%5 == 1 && c+2 < cols {
+				b.AddEdge(id(r, c), id(r+1, c+1))
+				b.AddEdge(id(r+1, c+1), id(r, c+2))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func main() {
+	g := netlist(24, 40)
+	fmt.Printf("netlist: %d cells, %d nets\n", g.N(), g.M())
+	opt := planarsi.Options{Seed: 7}
+
+	// Pattern 1: reconvergent fanout diamond (a 4-cycle): the shape of a
+	// half-adder's carry/sum reconvergence.
+	diamond := planarsi.Cycle(4)
+	count, err := planarsi.CountOccurrences(g, diamond, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconvergent diamonds (C4 maps): %d\n", count)
+
+	// Pattern 2: a 6-stage buffer chain (path P6).
+	chain := planarsi.Path(6)
+	occ, err := planarsi.FindOccurrence(g, chain, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("buffer chain found: %v -> cells %v\n", occ != nil, occ)
+
+	// Pattern 3: a fanout tree — one driver feeding four sinks (star).
+	// The netlist's maximum degree is 5 at strap/diamond junctions.
+	fanout := planarsi.Star(5)
+	found, err := planarsi.Decide(g, fanout, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-sink fanout present: %v\n", found)
+
+	// Pattern 4: a 5-cycle — absent in this topology (all cycles built
+	// from row/strap/diamond routing have even length... except diamonds
+	// plus row segments; check what the tool says).
+	c5 := planarsi.Cycle(5)
+	found, err = planarsi.Decide(g, c5, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("odd 5-cycles present: %v\n", found)
+
+	// SubGemini-style use: verify a specific extracted block matches the
+	// library shape before tape-out — witness + verification.
+	if occ != nil && planarsi.VerifyOccurrence(g, chain, occ) {
+		fmt.Println("extracted block verified against library shape")
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: decide, find, list, and vertex connectivity in a dozen
+// lines each. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planarsi"
+)
+
+func main() {
+	// A 16x16 grid as the planar target and a 4-cycle as the pattern.
+	g := planarsi.Grid(16, 16)
+	h := planarsi.Cycle(4)
+	opt := planarsi.Options{Seed: 1}
+
+	found, err := planarsi.Decide(g, h, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C4 occurs in the 16x16 grid: %v\n", found)
+
+	occ, err := planarsi.FindOccurrence(g, h, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("witness: %v (verifies: %v)\n", occ, planarsi.VerifyOccurrence(g, h, occ))
+
+	count, err := planarsi.CountOccurrences(g, h, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 15*15 unit squares, 8 automorphic maps each.
+	fmt.Printf("C4 occurrences: %d (expected %d)\n", count, 15*15*8)
+
+	res, err := planarsi.VertexConnectivity(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid vertex connectivity: %d, cut witness: %v\n", res.Connectivity, res.Cut)
+
+	// Instrumentation: the paper's work/depth quantities, measured.
+	tr := planarsi.NewTracker()
+	opt.Tracker = tr
+	if _, err := planarsi.Decide(g, h, opt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumented decide: %v\n", tr)
+}

@@ -1,0 +1,111 @@
+package planarsi
+
+import (
+	"math/rand/v2"
+
+	"planarsi/internal/graph"
+)
+
+// Graph construction and the generator families used throughout the
+// examples, tests and benchmarks. Every planar generator returns an
+// embedded graph (a rotation system validated by Euler's formula), which
+// VertexConnectivity requires.
+
+// NewBuilder returns a builder for a graph on n vertices. Freeze it with
+// Build (no embedding), BuildEmbedded (derive a rotation system from
+// planar straight-line coordinates) or BuildWithRotations (adjacency
+// insertion order is already a counterclockwise rotation system).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a non-embedded graph from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph { return graph.FromEdges(n, edges) }
+
+// Path returns the path on n vertices (connectivity 1).
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Cycle returns the cycle on n >= 3 vertices (connectivity 2).
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Star returns the star K_{1,n-1} with center 0 (connectivity 1).
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Wheel returns a hub joined to a cycle on n-1 rim vertices
+// (connectivity 3).
+func Wheel(n int) *Graph { return graph.Wheel(n) }
+
+// Grid returns the r x c grid graph (connectivity 2).
+func Grid(r, c int) *Graph { return graph.Grid(r, c) }
+
+// GridWithDiagonals returns the r x c grid with one diagonal per cell, a
+// planar near-triangulation.
+func GridWithDiagonals(r, c int) *Graph { return graph.GridWithDiagonals(r, c) }
+
+// Bipyramid returns the n-gonal bipyramid: an equatorial n-cycle plus two
+// poles adjacent to every equatorial vertex (4-connected for n >= 4; the
+// octahedron is Bipyramid(4)).
+func Bipyramid(n int) *Graph { return graph.Bipyramid(n) }
+
+// Tetrahedron returns K4 embedded (3-connected).
+func Tetrahedron() *Graph { return graph.Tetrahedron() }
+
+// Cube returns the 3-cube graph embedded (3-connected).
+func Cube() *Graph { return graph.Cube() }
+
+// Octahedron returns the octahedron embedded (4-connected).
+func Octahedron() *Graph { return graph.Octahedron() }
+
+// Dodecahedron returns the dodecahedron embedded (3-connected).
+func Dodecahedron() *Graph { return graph.Dodecahedron() }
+
+// Icosahedron returns the icosahedron embedded (5-connected, the extremal
+// planar case).
+func Icosahedron() *Graph { return graph.Icosahedron() }
+
+// Apollonian returns a random Apollonian network (stacked planar
+// triangulation, 3-connected) on n >= 3 vertices.
+func Apollonian(n int, rng *rand.Rand) *Graph { return graph.Apollonian(n, rng) }
+
+// RandomPlanar returns a connected random planar graph: an Apollonian
+// triangulation thinned to a spanning tree plus each extra edge kept with
+// probability keep.
+func RandomPlanar(n int, keep float64, rng *rand.Rand) *Graph {
+	return graph.RandomPlanar(n, keep, rng)
+}
+
+// RandomTree returns a uniform random recursive tree on n vertices.
+func RandomTree(n int, rng *rand.Rand) *Graph { return graph.RandomTree(n, rng) }
+
+// Caterpillar returns a spine path with legs leaves per spine vertex.
+func Caterpillar(spine, legs int) *Graph { return graph.Caterpillar(spine, legs) }
+
+// Complete returns K_n (planar only for n <= 4).
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// TorusGrid returns the r x c grid with wraparound in both directions: a
+// genus-1, locally-bounded-treewidth target for the Section 4.3
+// extension. Subgraph isomorphism works on it; VertexConnectivity does
+// not (no planar embedding).
+func TorusGrid(r, c int) *Graph { return graph.TorusGrid(r, c) }
+
+// GridWithHandles returns an r x c grid plus extra random long-range
+// edges ("handles"), a bounded-genus family for the Section 4.3
+// extension.
+func GridWithHandles(r, c, handles int, rng *rand.Rand) *Graph {
+	return graph.GridWithHandles(r, c, handles, rng)
+}
+
+// DisjointUnion returns the disjoint union of the given graphs with
+// vertex ids offset in argument order (no embedding). Useful for building
+// disconnected patterns.
+func DisjointUnion(gs ...*Graph) *Graph { return graph.DisjointUnion(gs...) }
+
+// Diameter returns the exact diameter of g (largest intra-component
+// distance); quadratic, intended for pattern-sized graphs.
+func Diameter(g *Graph) int { return graph.Diameter(g) }
+
+// IsConnected reports whether g is connected.
+func IsConnected(g *Graph) bool { return graph.IsConnected(g) }
+
+// ValidateEmbedding checks the graph's rotation system against Euler's
+// formula and returns an error when it is not a planar embedding.
+func ValidateEmbedding(g *Graph) error { return graph.ValidateEmbedding(g) }

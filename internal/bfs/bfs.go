@@ -1,0 +1,87 @@
+// Package bfs implements the level-synchronous parallel breadth-first
+// search the paper uses inside low-diameter clusters (Section 2.1, "naive
+// parallel BFS"). Each level is expanded with a parallel edge scan:
+// frontier degrees are prefix-summed, every frontier edge claims its head
+// with an atomic compare-and-swap, and the next frontier is packed out of
+// the claimed vertices. Work is O(n + m) and depth is O(D log n) for
+// diameter D, which is exactly why the paper only runs it after the
+// clustering has bounded D to O(k log n).
+package bfs
+
+import (
+	"sync/atomic"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/par"
+	"planarsi/internal/wd"
+)
+
+// Result holds the output of a parallel BFS.
+type Result struct {
+	// Dist is the level of each vertex, -1 if unreachable.
+	Dist []int32
+	// Rounds is the number of synchronous frontier expansions, the
+	// empirical depth of the search (up to the log-factor from packing).
+	Rounds int
+	// MaxLevel is the largest finite level.
+	MaxLevel int
+}
+
+// Levels runs a parallel BFS from the given roots. If within is non-nil,
+// the search is restricted to vertices v with within[v] == true (roots
+// must satisfy it). tr accumulates work and depth.
+func Levels(g *graph.Graph, roots []int32, within []bool, tr *wd.Tracker) *Result {
+	n := g.N()
+	dist := make([]int32, n)
+	distA := make([]atomic.Int32, n)
+	for i := range distA {
+		distA[i].Store(-1)
+	}
+	frontier := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		if within != nil && !within[r] {
+			panic("bfs: root outside the allowed subset")
+		}
+		if distA[r].CompareAndSwap(-1, 0) {
+			frontier = append(frontier, r)
+		}
+	}
+	level := int32(0)
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		level++
+		// Prefix-sum frontier degrees to give every frontier edge a slot.
+		deg := make([]int32, len(frontier))
+		par.For(0, len(frontier), func(i int) {
+			deg[i] = int32(g.Degree(frontier[i]))
+		})
+		total := par.ExclusivePrefixSum(deg)
+		out := make([]int32, total)
+		par.For(0, len(frontier), func(i int) {
+			v := frontier[i]
+			base := deg[i]
+			for j, w := range g.Neighbors(v) {
+				slot := base + int32(j)
+				out[slot] = -1
+				if within != nil && !within[w] {
+					continue
+				}
+				if distA[w].CompareAndSwap(-1, level) {
+					out[slot] = w
+				}
+			}
+		})
+		frontier = par.Pack(out, func(i int) bool { return out[i] >= 0 })
+		tr.AddPhaseWork("bfs", int64(total)+int64(len(frontier)))
+		tr.AddPhaseRounds("bfs", 1)
+	}
+	maxLevel := 0
+	for i := range distA {
+		dist[i] = distA[i].Load()
+		if int(dist[i]) > maxLevel {
+			maxLevel = int(dist[i])
+		}
+	}
+	return &Result{Dist: dist, Rounds: rounds, MaxLevel: maxLevel}
+}

@@ -1,0 +1,231 @@
+// Package core assembles the paper's pipeline: the parallel treewidth
+// k-d cover of Section 2 feeding the bounded-treewidth subgraph
+// isomorphism engines of Section 3, with the extensions of Section 4
+// (disconnected patterns, listing all occurrences) and Section 5
+// (S-separating occurrences).
+//
+// One run of the decision algorithm covers the target with
+// bounded-treewidth bands (each fixed occurrence survives into some band
+// with probability >= 1/2, Theorem 2.4) and solves each band exactly.
+// "Yes" answers are therefore always correct; "no" answers are correct
+// with high probability after O(log n) independent runs. The same
+// one-sided error structure carries through listing (Theorem 4.2),
+// disconnected patterns (Lemma 4.1) and the separating variant
+// (Lemma 5.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+
+	"planarsi/internal/cover"
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+	"planarsi/internal/naive"
+	"planarsi/internal/par"
+	"planarsi/internal/pmdag"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/wd"
+)
+
+// Engine selects the bounded-treewidth solver used per band.
+type Engine int
+
+const (
+	// EngineAuto uses the path-DAG engine for plain decision problems and
+	// the sequential engine for separating ones (the Section 3.3 engine
+	// covers plain mode only).
+	EngineAuto Engine = iota
+	// EngineSequential forces the bottom-up DP of Section 3.2.
+	EngineSequential
+	// EnginePathDAG forces the Section 3.3 path-DAG engine.
+	EnginePathDAG
+)
+
+// Options configures the pipeline. The zero value is usable: fresh
+// deterministic seed 0, automatic engine, min-degree decompositions,
+// automatic repetition counts.
+type Options struct {
+	// Seed seeds the run's randomness; equal seeds give equal results.
+	Seed uint64
+	// Engine selects the per-band solver.
+	Engine Engine
+	// MaxRuns bounds the independent cover repetitions; 0 selects
+	// 2·ceil(log2(n+2)) + 3, enough to certify absence w.h.p.
+	MaxRuns int
+	// Heuristic selects the tree decomposition heuristic for bands.
+	Heuristic treedecomp.Heuristic
+	// Beta overrides the clustering parameter (default 2k), for the beta
+	// ablation experiment.
+	Beta float64
+	// Tracker accumulates work/depth counters when non-nil.
+	Tracker *wd.Tracker
+	// Stats receives run statistics when non-nil.
+	Stats *Stats
+}
+
+// Stats reports what a pipeline call did.
+type Stats struct {
+	// Runs is the number of cover repetitions executed.
+	Runs int
+	// Bands is the total number of bands solved across all runs.
+	Bands int
+	// FallbackBands counts bands whose decomposition exceeded the engine's
+	// bag capacity and were solved by the naive baseline instead.
+	FallbackBands int64
+	// MaxBandWidth is the widest band decomposition observed.
+	MaxBandWidth int
+}
+
+// Occurrence maps pattern vertices to target vertices.
+type Occurrence []int32
+
+// Key renders the occurrence as a comparable string (the paper
+// deduplicates occurrences "by hashing").
+func (o Occurrence) Key() string {
+	b := make([]byte, 0, len(o)*4)
+	for _, v := range o {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// ErrPatternTooLarge is returned when the pattern exceeds the engine
+// capacity (match.MaxK vertices).
+var ErrPatternTooLarge = errors.New("core: pattern exceeds MaxK vertices")
+
+// ErrDisconnectedPattern is returned by operations defined only for
+// connected patterns (List, Count, DecideSeparating).
+var ErrDisconnectedPattern = errors.New("core: operation requires a connected pattern")
+
+func (o Options) maxRuns(n int) int {
+	if o.MaxRuns > 0 {
+		return o.MaxRuns
+	}
+	return 2*int(math.Ceil(math.Log2(float64(n)+2))) + 3
+}
+
+func (o Options) rng(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(o.Seed, 0x9e3779b97f4a7c15^stream))
+}
+
+func (o Options) addRun(bands int) {
+	if o.Stats != nil {
+		o.Stats.Runs++
+		o.Stats.Bands += bands
+	}
+}
+
+func (o Options) noteWidth(w int) {
+	if o.Stats == nil {
+		return
+	}
+	if w > o.Stats.MaxBandWidth {
+		o.Stats.MaxBandWidth = w
+	}
+}
+
+// validate performs the shared pattern checks. It returns (decided,
+// result) when the instance is trivial.
+func validate(g, h *graph.Graph) (trivial bool, result bool, err error) {
+	k := h.N()
+	if k > match.MaxK {
+		return false, false, fmt.Errorf("%w: k=%d", ErrPatternTooLarge, k)
+	}
+	if k == 0 {
+		return true, true, nil
+	}
+	if k > g.N() {
+		return true, false, nil
+	}
+	if h.M() > g.M() {
+		return true, false, nil
+	}
+	return false, false, nil
+}
+
+// Decide reports whether h occurs in g as a subgraph, dispatching between
+// the connected pipeline (Theorem 2.1) and the disconnected extension
+// (Lemma 4.1). The answer is exact when true and correct w.h.p. when
+// false.
+func Decide(g, h *graph.Graph, opt Options) (bool, error) {
+	if trivial, res, err := validate(g, h); trivial || err != nil {
+		return res, err
+	}
+	if _, l := graph.Components(h); l > 1 {
+		return decideDisconnected(g, h, l, opt)
+	}
+	return decideConnected(g, h, opt)
+}
+
+// decideConnected runs the Theorem 2.1 pipeline: up to MaxRuns covers,
+// each band solved exactly, early exit on the first hit.
+func decideConnected(g, h *graph.Graph, opt Options) (bool, error) {
+	k := h.N()
+	if k == 1 {
+		return g.N() >= 1, nil
+	}
+	d := graph.Diameter(h)
+	rng := opt.rng(1)
+	runs := opt.maxRuns(g.N())
+	for run := 0; run < runs; run++ {
+		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
+		opt.addRun(len(cov.Bands))
+		if coverHasOccurrence(cov, h, opt) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// coverHasOccurrence solves every band of the cover in parallel and
+// reports whether any contains the pattern.
+func coverHasOccurrence(cov *cover.Cover, h *graph.Graph, opt Options) bool {
+	var found atomic.Bool
+	bands := cov.Bands
+	par.ForGrain(0, len(bands), 1, func(i int) {
+		b := bands[i]
+		if found.Load() || b.G.N() < h.N() {
+			return
+		}
+		eng, ok := solveBand(b, h, false, opt)
+		if !ok {
+			// Fallback: the band decomposition was too wide for the
+			// engine; the naive baseline is exact on the band.
+			if naive.Decide(b.G, h) {
+				found.Store(true)
+			}
+			return
+		}
+		if eng.Found() {
+			found.Store(true)
+		}
+	})
+	return found.Load()
+}
+
+// solveBand builds the band's nice tree decomposition and runs the
+// selected engine. ok=false signals that the decomposition exceeded the
+// engine's bag capacity and the caller must use the naive fallback.
+func solveBand(b *cover.Band, h *graph.Graph, separating bool, opt Options) (*match.Result, bool) {
+	td := treedecomp.Build(b.G, opt.Heuristic)
+	opt.noteWidth(td.Width())
+	nd := treedecomp.MakeNice(td)
+	if nd.Width+1 > match.MaxBag {
+		if opt.Stats != nil {
+			opt.Stats.FallbackBands++
+		}
+		return nil, false
+	}
+	p := &match.Problem{G: b.G, H: h, ND: nd, Allowed: b.Allowed, S: b.S, Separating: separating}
+	if separating || opt.Engine == EngineSequential {
+		// The path-DAG engine covers plain mode only (its state universe
+		// enumeration has no separating labels).
+		return match.Run(p, opt.Tracker), true
+	}
+	eng, _ := pmdag.Run(p, opt.Tracker)
+	return eng, true
+}

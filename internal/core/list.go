@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"planarsi/internal/cover"
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+	"planarsi/internal/naive"
+	"planarsi/internal/par"
+)
+
+// List returns (w.h.p.) every occurrence of the connected pattern h in g,
+// implementing Theorem 4.2: repeat the cover-and-enumerate run, dedupe by
+// hashing, and stop once log2(j) + Θ(log n) consecutive iterations find
+// nothing new (Observation 2 bounds the probability that a long head
+// streak hides an unfound occurrence). Every iteration finds each fixed
+// occurrence with probability >= 1/2.
+//
+// Occurrences are injective maps from pattern vertices to target vertices;
+// automorphic images of the same vertex set count separately, matching the
+// paper's listing semantics.
+func List(g, h *graph.Graph, opt Options) ([]Occurrence, error) {
+	if trivial, res, err := validate(g, h); err != nil {
+		return nil, err
+	} else if trivial {
+		if !res {
+			return nil, nil
+		}
+		// k == 0: the unique empty occurrence.
+		return []Occurrence{{}}, nil
+	}
+	if _, l := graph.Components(h); l > 1 {
+		return nil, ErrDisconnectedPattern
+	}
+	k := h.N()
+	if k == 1 {
+		out := make([]Occurrence, g.N())
+		for v := range out {
+			out[v] = Occurrence{int32(v)}
+		}
+		return out, nil
+	}
+	d := graph.Diameter(h)
+	rng := opt.rng(3)
+	found := make(map[string]Occurrence)
+	logN := math.Log2(float64(g.N()) + 2)
+	j := 0
+	streak := 0
+	for {
+		j++
+		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
+		opt.addRun(len(cov.Bands))
+		occs := enumerateCover(cov, h, opt)
+		added := 0
+		for _, o := range occs {
+			key := o.Key()
+			if _, dup := found[key]; !dup {
+				found[key] = o
+				added++
+			}
+		}
+		if added > 0 {
+			streak = 0
+		} else {
+			streak++
+		}
+		// Stopping rule of Theorem 4.2: terminate after log2(j) + Θ(log n)
+		// consecutive empty iterations.
+		threshold := int(math.Ceil(math.Log2(float64(j)+1))) + int(math.Ceil(2*logN)) + 1
+		if streak >= threshold {
+			break
+		}
+		if opt.MaxRuns > 0 && j >= opt.MaxRuns {
+			break
+		}
+	}
+	out := make([]Occurrence, 0, len(found))
+	for _, o := range found {
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Count returns (w.h.p.) the number of occurrences of the connected
+// pattern h in g. As the paper's conclusion notes, counting via listing is
+// not work-efficient — the work grows with the number of occurrences —
+// but it is correct w.h.p.
+func Count(g, h *graph.Graph, opt Options) (int, error) {
+	occs, err := List(g, h, opt)
+	return len(occs), err
+}
+
+// FindOne returns a single occurrence of the connected pattern h in g, or
+// nil when none was found within the run budget.
+func FindOne(g, h *graph.Graph, opt Options) (Occurrence, error) {
+	if trivial, res, err := validate(g, h); err != nil {
+		return nil, err
+	} else if trivial {
+		if res {
+			return Occurrence{}, nil
+		}
+		return nil, nil
+	}
+	if _, l := graph.Components(h); l > 1 {
+		return nil, ErrDisconnectedPattern
+	}
+	k := h.N()
+	if k == 1 {
+		return Occurrence{0}, nil
+	}
+	d := graph.Diameter(h)
+	rng := opt.rng(4)
+	runs := opt.maxRuns(g.N())
+	for run := 0; run < runs; run++ {
+		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
+		opt.addRun(len(cov.Bands))
+		if occ := findInCover(cov, h, opt); occ != nil {
+			return occ, nil
+		}
+	}
+	return nil, nil
+}
+
+// enumerateCover lists every occurrence contained in some band of the
+// cover, translated to original vertex ids. Following Section 4.2.1, only
+// occurrences touching the band's lowest BFS level are reported, so each
+// occurrence inside a cluster is produced by exactly one band (the one
+// whose lowest level is the occurrence's closest-to-root level); this
+// keeps the per-run work proportional to the number of occurrences rather
+// than d times it.
+func enumerateCover(cov *cover.Cover, h *graph.Graph, opt Options) []Occurrence {
+	bands := cov.Bands
+	results := make([][]Occurrence, len(bands))
+	par.ForGrain(0, len(bands), 1, func(i int) {
+		results[i] = enumerateBand(bands[i], h, opt)
+	})
+	var out []Occurrence
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// enumerateBand lists the band's occurrences that touch its lowest level.
+func enumerateBand(b *cover.Band, h *graph.Graph, opt Options) []Occurrence {
+	if b.G.N() < h.N() {
+		return nil
+	}
+	var local []match.Assignment
+	if eng, ok := solveBand(b, h, false, opt); ok {
+		local = eng.Enumerate(0)
+	} else {
+		for _, a := range naive.Search(b.G, h, naive.Options{}) {
+			local = append(local, match.Assignment(a))
+		}
+	}
+	var out []Occurrence
+	for _, a := range local {
+		if !touchesLowest(b, a) {
+			continue
+		}
+		occ := make(Occurrence, len(a))
+		for u, lv := range a {
+			occ[u] = b.Orig[lv]
+		}
+		out = append(out, occ)
+	}
+	return out
+}
+
+func touchesLowest(b *cover.Band, a match.Assignment) bool {
+	for _, lv := range a {
+		if lv >= 0 && b.LowestLevelLocal[lv] {
+			return true
+		}
+	}
+	return false
+}
+
+// findInCover returns one occurrence from any band of the cover (original
+// ids), or nil.
+func findInCover(cov *cover.Cover, h *graph.Graph, opt Options) Occurrence {
+	bands := cov.Bands
+	var mu sync.Mutex
+	var hit Occurrence
+	par.ForGrain(0, len(bands), 1, func(i int) {
+		b := bands[i]
+		mu.Lock()
+		done := hit != nil
+		mu.Unlock()
+		if done || b.G.N() < h.N() {
+			return
+		}
+		var local []match.Assignment
+		if eng, ok := solveBand(b, h, false, opt); ok {
+			local = eng.Enumerate(1)
+		} else {
+			for _, a := range naive.Search(b.G, h, naive.Options{Limit: 1}) {
+				local = append(local, match.Assignment(a))
+			}
+		}
+		if len(local) == 0 {
+			return
+		}
+		occ := make(Occurrence, len(local[0]))
+		for u, lv := range local[0] {
+			occ[u] = b.Orig[lv]
+		}
+		mu.Lock()
+		if hit == nil {
+			hit = occ
+		}
+		mu.Unlock()
+	})
+	return hit
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiments themselves are exercised end-to-end by cmd/paperbench;
+// these tests pin the harness plumbing and run the cheapest experiments
+// in quick mode to ensure their shape checks hold.
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "Test",
+		Title:  "rendering",
+		Claim:  "claims are shown",
+		Header: []string{"a", "bb"},
+	}
+	tb.Row("1", "2")
+	tb.Pass("ok %d", 7)
+	s := tb.String()
+	for _, want := range []string{"Test", "rendering", "claims are shown", "a", "bb", "PASS: ok 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Failed() {
+		t.Fatal("table with only passes must not be failed")
+	}
+	tb.Fail("boom")
+	if !tb.Failed() {
+		t.Fatal("Fail must mark the table failed")
+	}
+}
+
+func TestByNameCoversAll(t *testing.T) {
+	for _, name := range Names() {
+		if ByName(name) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name must return nil")
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	if s := ratioSpread([]float64{2, 4, 8}); s != 4 {
+		t.Fatalf("spread = %v, want 4", s)
+	}
+	if s := ratioSpread(nil); s != 1 {
+		t.Fatalf("empty spread = %v, want 1", s)
+	}
+}
+
+func TestQuickExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	cfg := Config{Quick: true, Seed: 7}
+	for _, exp := range []struct {
+		name string
+		run  func(Config) *Table
+	}{
+		{"fig1", Fig1},
+		{"fig2", Fig2},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"ablation-shortcut", AblationShortcut},
+	} {
+		t.Run(exp.name, func(t *testing.T) {
+			tb := exp.run(cfg)
+			if tb.Failed() {
+				t.Fatalf("shape check failed:\n%s", tb.String())
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+		})
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"planarsi/internal/cover"
+	"planarsi/internal/estc"
+	"planarsi/internal/graph"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/wd"
+)
+
+// Fig1 regenerates the behaviour of Figure 1: tree decompositions of the
+// cover's bands satisfy the three axioms, and their width stays O(d) on
+// planar targets (the paper's bound via Baker/Eppstein is 3d; our
+// min-degree heuristic must land in the same regime — DESIGN.md records
+// the substitution).
+func Fig1(cfg Config) *Table {
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "tree decompositions of cover bands: validity and width",
+		Claim:  "bands of a k-d cover of a planar graph have treewidth <= 3d",
+		Header: []string{"target", "d", "bands", "max width", "3d", "valid"},
+	}
+	n := 3000
+	if cfg.Quick {
+		n = 600
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 101))
+	targets := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(intSqrt(n), intSqrt(n))},
+		{"random planar", graph.RandomPlanar(n, 0.6, rng)},
+		{"triangulation", graph.Apollonian(n, rng)},
+	}
+	allValid := true
+	widthOK := true
+	for _, tg := range targets {
+		for _, d := range []int{1, 2, 3} {
+			cov := cover.Build(tg.g, cover.Params{K: 4, D: d}, rng, nil)
+			maxWidth := 0
+			valid := true
+			for _, b := range cov.Bands {
+				td := treedecomp.Build(b.G, treedecomp.MinDegree)
+				if err := treedecomp.Validate(b.G, td); err != nil {
+					valid = false
+				}
+				if w := td.Width(); w > maxWidth {
+					maxWidth = w
+				}
+			}
+			if !valid {
+				allValid = false
+			}
+			// The heuristic does not promise the exact 3d constant; the
+			// shape check allows the paper's bound plus small slack.
+			if maxWidth > 3*d+2 {
+				widthOK = false
+			}
+			t.Row(tg.name, fmt.Sprint(d), fmt.Sprint(len(cov.Bands)),
+				fmt.Sprint(maxWidth), fmt.Sprint(3*d), fmt.Sprint(valid))
+		}
+	}
+	if allValid {
+		t.Pass("every band decomposition satisfied the three axioms")
+	} else {
+		t.Fail("invalid decomposition produced")
+	}
+	if widthOK {
+		t.Pass("band widths stayed within 3d+2 on every target")
+	} else {
+		t.Fail("band width exceeded 3d+2")
+	}
+	return t
+}
+
+// Fig2 regenerates the behaviour of Figure 2 and Lemma 2.3/Observation 1:
+// Exponential Start Time β-Clustering cuts each edge with probability at
+// most 1/β, produces clusters of diameter O(β log n), and (at β = 2k)
+// keeps a fixed connected k-vertex occurrence intact with probability at
+// least 1/2.
+func Fig2(cfg Config) *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "exponential start time clustering: edge-cut rate, diameter, survival",
+		Claim:  "edge crossing prob <= 1/β; diameter O(β log n); occurrence survives w.p. >= 1/2 at β=2k",
+		Header: []string{"β", "clusters", "cut frac", "1/β", "max diam", "β·lg n", "survival"},
+	}
+	side := 40
+	trials := 40
+	if cfg.Quick {
+		side, trials = 20, 15
+	}
+	g := graph.Grid(side, side)
+	n := g.N()
+	lgn := math.Log2(float64(n))
+	// Planted occurrence: the 4-cycle in the middle of the grid.
+	mid := int32(side/2*side + side/2)
+	occEdges := [][2]int32{
+		{mid, mid + 1}, {mid + 1, mid + int32(side) + 1},
+		{mid + int32(side) + 1, mid + int32(side)}, {mid + int32(side), mid},
+	}
+	cutOK, survOK := true, true
+	for _, beta := range []float64{2, 4, 8, 16} {
+		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(beta*100)))
+		totalCut, totalEdges := 0, 0
+		clusters := 0
+		maxDiam := 0
+		survived := 0
+		for trial := 0; trial < trials; trial++ {
+			tr := wd.NewTracker()
+			cl := estc.Cluster(g, beta, rng, tr)
+			clusters += cl.NumClusters()
+			totalCut += cl.CrossingEdges(g)
+			totalEdges += g.M()
+			if d := maxClusterDiameter(g, cl); d > maxDiam {
+				maxDiam = d
+			}
+			intact := true
+			for _, e := range occEdges {
+				if cl.Owner[e[0]] != cl.Owner[e[1]] {
+					intact = false
+					break
+				}
+			}
+			if intact {
+				survived++
+			}
+		}
+		cutFrac := float64(totalCut) / float64(totalEdges)
+		surv := float64(survived) / float64(trials)
+		// The union bound gives survival >= 1 - (k-1)/β; at β = 2k = 8 for
+		// the planted C4 that is >= 5/8 > 1/2.
+		if cutFrac > 1/beta {
+			cutOK = false
+		}
+		if beta == 8 && surv < 0.5 {
+			survOK = false
+		}
+		t.Row(fmt.Sprintf("%.0f", beta), fmt.Sprint(clusters/trials),
+			fmt.Sprintf("%.4f", cutFrac), fmt.Sprintf("%.4f", 1/beta),
+			fmt.Sprint(maxDiam), fmt.Sprintf("%.0f", beta*lgn),
+			fmt.Sprintf("%.2f", surv))
+	}
+	if cutOK {
+		t.Pass("measured edge-cut fraction stayed below 1/β at every β (Lemma 2.3)")
+	} else {
+		t.Fail("edge-cut fraction exceeded 1/β")
+	}
+	if survOK {
+		t.Pass("planted C4 survived clustering w.p. >= 1/2 at β = 2k (Observation 1)")
+	} else {
+		t.Fail("survival below 1/2 at β = 2k")
+	}
+	return t
+}
+
+// maxClusterDiameter returns the largest eccentricity-from-center within
+// any cluster (a diameter proxy: true diameter <= 2x this value).
+func maxClusterDiameter(g *graph.Graph, cl *estc.Clustering) int {
+	n := g.N()
+	within := make([][]int32, cl.NumClusters())
+	for v := 0; v < n; v++ {
+		within[cl.Owner[v]] = append(within[cl.Owner[v]], int32(v))
+	}
+	maxd := 0
+	for ci, members := range within {
+		sub, orig := graph.Induce(g, members)
+		// Find the center's local id.
+		var src int32 = 0
+		for li, ov := range orig {
+			if ov == cl.Center[ci] {
+				src = int32(li)
+				break
+			}
+		}
+		if e := graph.Eccentricity(sub, src); e > maxd {
+			maxd = e
+		}
+	}
+	return maxd
+}
+
+// Fig3 regenerates the behaviour of Figure 3 and Theorem 2.4: the
+// parallel treewidth k-d cover keeps every vertex in at most d+1 bands,
+// has total size O(dn), finds each occurrence with probability >= 1/2,
+// and its in-cluster BFS round count stays O(k log n).
+func Fig3(cfg Config) *Table {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "parallel treewidth k-d cover: multiplicity, size, survival, BFS rounds",
+		Claim:  "multiplicity <= d+1 per vertex, total size O(dn), survival >= 1/2, BFS depth O(k log n)",
+		Header: []string{"n", "d", "bands", "max mult", "d+1", "Σ|Gi|/n", "BFS rounds", "k·lg n", "survival"},
+	}
+	sizes := []int{1024, 4096, 16384}
+	trials := 30
+	if cfg.Quick {
+		sizes = []int{256, 1024}
+		trials = 10
+	}
+	k := 4
+	multOK, survOK, roundsOK := true, true, true
+	for _, n := range sizes {
+		side := intSqrt(n)
+		g := graph.Grid(side, side)
+		mid := int32(side/2*side + side/2)
+		occ := []int32{mid, mid + 1, mid + int32(side) + 1, mid + int32(side)}
+		lgn := math.Log2(float64(g.N()))
+		for _, d := range []int{2, 3} {
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n*10+d)))
+			maxMult, maxRounds := 0, 0
+			var sizeRatio float64
+			survived := 0
+			for trial := 0; trial < trials; trial++ {
+				cov := cover.Build(g, cover.Params{K: k, D: d}, rng, nil)
+				mult := cov.Multiplicity(g.N())
+				for _, m := range mult {
+					if m > maxMult {
+						maxMult = m
+					}
+				}
+				if cov.BFSRounds > maxRounds {
+					maxRounds = cov.BFSRounds
+				}
+				sizeRatio = float64(cov.TotalSize()) / float64(g.N())
+				if coverContains(cov, occ) {
+					survived++
+				}
+			}
+			surv := float64(survived) / float64(trials)
+			if maxMult > d+1 {
+				multOK = false
+			}
+			if d >= 2 && surv < 0.5 {
+				survOK = false
+			}
+			if float64(maxRounds) > 4*float64(k)*lgn {
+				roundsOK = false
+			}
+			t.Row(fmt.Sprint(g.N()), fmt.Sprint(d), "-", fmt.Sprint(maxMult),
+				fmt.Sprint(d+1), fmt.Sprintf("%.2f", sizeRatio),
+				fmt.Sprint(maxRounds), fmt.Sprintf("%.0f", float64(k)*lgn),
+				fmt.Sprintf("%.2f", surv))
+		}
+	}
+	if multOK {
+		t.Pass("vertex multiplicity never exceeded d+1 (Theorem 2.4)")
+	} else {
+		t.Fail("vertex multiplicity exceeded d+1")
+	}
+	if survOK {
+		t.Pass("planted occurrence landed in a band w.p. >= 1/2 whenever d >= diam(H)")
+	} else {
+		t.Fail("survival below 1/2")
+	}
+	if roundsOK {
+		t.Pass("in-cluster BFS round count stayed within 4·k·lg n")
+	} else {
+		t.Fail("BFS round count exceeded 4·k·lg n")
+	}
+	return t
+}
+
+func coverContains(cov *cover.Cover, occ []int32) bool {
+	for _, b := range cov.Bands {
+		present := 0
+		for _, ov := range b.Orig {
+			for _, o := range occ {
+				if ov == o {
+					present++
+				}
+			}
+		}
+		if present == len(occ) {
+			return true
+		}
+	}
+	return false
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	for r*r < n {
+		r++
+	}
+	return r
+}

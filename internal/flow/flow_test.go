@@ -1,0 +1,228 @@
+package flow
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"planarsi/internal/graph"
+)
+
+func TestMaxFlowTinyNetwork(t *testing.T) {
+	// Two disjoint unit paths s -> t plus one shared bottleneck.
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 1)
+	nw.AddArc(0, 2, 1)
+	nw.AddArc(1, 3, 1)
+	nw.AddArc(2, 3, 1)
+	if got := nw.MaxFlow(0, 3, -1); got != 2 {
+		t.Fatalf("max flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowRespectsLimit(t *testing.T) {
+	nw := NewNetwork(2)
+	for i := 0; i < 5; i++ {
+		nw.AddArc(0, 1, 1)
+	}
+	if got := nw.MaxFlow(0, 1, 2); got != 2 {
+		t.Fatalf("limited max flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowSourceIsSink(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 5)
+	if got := nw.MaxFlow(0, 0, -1); got != 0 {
+		t.Fatalf("s==t flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 3)
+	nw.AddArc(2, 3, 3)
+	if got := nw.MaxFlow(0, 3, -1); got != 0 {
+		t.Fatalf("disconnected flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelAndSerial(t *testing.T) {
+	// s -(2)-> a -(1)-> t and s -(1)-> t directly: flow 2.
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 2)
+	nw.AddArc(1, 2, 1)
+	nw.AddArc(0, 2, 1)
+	if got := nw.MaxFlow(0, 2, -1); got != 2 {
+		t.Fatalf("max flow = %d, want 2", got)
+	}
+}
+
+func TestPairConnectivityGrid(t *testing.T) {
+	g := graph.Grid(3, 3)
+	// Opposite corners of a 3x3 grid have exactly 2 vertex-disjoint paths.
+	if got := PairConnectivity(g, 0, 8); got != 2 {
+		t.Fatalf("corner pair connectivity = %d, want 2", got)
+	}
+}
+
+func TestPairConnectivityPath(t *testing.T) {
+	g := graph.Path(5)
+	if got := PairConnectivity(g, 0, 4); got != 1 {
+		t.Fatalf("path end pair connectivity = %d, want 1", got)
+	}
+}
+
+func TestPairConnectivityPanicsOnAdjacent(t *testing.T) {
+	g := graph.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for adjacent pair")
+		}
+	}()
+	PairConnectivity(g, 0, 1)
+}
+
+func TestVertexConnectivityKnownFamilies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"single", graph.Path(1), 0},
+		{"edge", graph.Path(2), 1},
+		{"path10", graph.Path(10), 1},
+		{"cycle8", graph.Cycle(8), 2},
+		{"grid4x5", graph.Grid(4, 5), 2},
+		{"star6", graph.Star(6), 1},
+		{"wheel7", graph.Wheel(7), 3},
+		{"tetrahedron", graph.Tetrahedron(), 3},
+		{"cube", graph.Cube(), 3},
+		{"octahedron", graph.Octahedron(), 4},
+		{"dodecahedron", graph.Dodecahedron(), 3},
+		{"icosahedron", graph.Icosahedron(), 5},
+		{"bipyramid6", graph.Bipyramid(6), 4},
+		{"apollonian30", graph.Apollonian(30, rng), 3},
+		{"k4", graph.Complete(4), 3},
+		{"disconnected", graph.DisjointUnion(graph.Cycle(4), graph.Cycle(4)), 0},
+	}
+	for _, tc := range cases {
+		if got := VertexConnectivity(tc.g); got != tc.want {
+			t.Errorf("%s: connectivity = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVertexConnectivityCutVertex(t *testing.T) {
+	// Two triangles sharing one vertex: connectivity 1.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	if got := VertexConnectivity(b.Build()); got != 1 {
+		t.Fatalf("shared-vertex triangles connectivity = %d, want 1", got)
+	}
+}
+
+func TestMinVertexCutSeparates(t *testing.T) {
+	g := graph.Grid(3, 4)
+	cut := MinVertexCut(g, 0, 11)
+	if len(cut) != 2 {
+		t.Fatalf("cut size = %d, want 2", len(cut))
+	}
+	// Removing the cut must disconnect 0 from 11.
+	removed := make(map[int32]bool, len(cut))
+	for _, v := range cut {
+		if v == 0 || v == 11 {
+			t.Fatalf("cut contains a terminal: %v", cut)
+		}
+		removed[v] = true
+	}
+	var keep []int32
+	for v := int32(0); v < int32(g.N()); v++ {
+		if !removed[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, orig := graph.Induce(g, keep)
+	comp, _ := graph.Components(sub)
+	var c0, c11 int32 = -1, -1
+	for i, ov := range orig {
+		if ov == 0 {
+			c0 = comp[i]
+		}
+		if ov == 11 {
+			c11 = comp[i]
+		}
+	}
+	if c0 < 0 || c11 < 0 || c0 == c11 {
+		t.Fatalf("cut %v does not separate 0 from 11", cut)
+	}
+}
+
+func TestVertexConnectivityRandomPlanarAgainstDefinition(t *testing.T) {
+	// Cross-check the oracle itself on small random planar graphs by brute
+	// force over all vertex subsets up to size 3.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomPlanar(9, 0.5, rng)
+		want := bruteConnectivity(g, 4)
+		got := VertexConnectivity(g)
+		if want <= 3 && got != want {
+			t.Fatalf("trial %d: oracle = %d, brute force = %d on %v", trial, got, want, g)
+		}
+	}
+}
+
+// bruteConnectivity returns the vertex connectivity when it is < limit,
+// otherwise limit (complete graphs return n-1).
+func bruteConnectivity(g *graph.Graph, limit int) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	if g.IsComplete() {
+		return n - 1
+	}
+	if !graph.IsConnected(g) {
+		return 0
+	}
+	verts := make([]int32, n)
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	for size := 1; size < limit && size < n-1; size++ {
+		subset := make([]int32, size)
+		var rec func(start, i int) bool
+		rec = func(start, i int) bool {
+			if i == size {
+				removed := make(map[int32]bool, size)
+				for _, v := range subset {
+					removed[v] = true
+				}
+				var keep []int32
+				for v := int32(0); v < int32(n); v++ {
+					if !removed[v] {
+						keep = append(keep, v)
+					}
+				}
+				sub, _ := graph.Induce(g, keep)
+				return !graph.IsConnected(sub)
+			}
+			for s := start; s < n; s++ {
+				subset[i] = int32(s)
+				if rec(s+1, i+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, 0) {
+			return size
+		}
+	}
+	return limit
+}

@@ -1,0 +1,176 @@
+// Package gio reads and writes the edge-list graph format the command
+// line tools use.
+//
+// An edge-list file holds one edge per line as two integer vertex ids
+// separated by whitespace. Blank lines and lines starting with '#' are
+// ignored. The vertex count is max id + 1 unless a "n <count>" header
+// line raises it (isolated trailing vertices). A coordinates file holds
+// "v x y" lines assigning planar coordinates, from which an embedding
+// (rotation system) is derived; it must cover every vertex.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"planarsi/internal/graph"
+)
+
+// ReadEdgeList parses an edge list from r.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	edges, n, err := scanEdges(r)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if b.HasEdge(e[0], e[1]) {
+			continue // tolerate duplicate lines
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}
+
+// ReadEmbedded parses an edge list and a coordinates file and returns the
+// embedded graph.
+func ReadEmbedded(edgeR, coordR io.Reader) (*graph.Graph, error) {
+	edges, n, err := scanEdges(edgeR)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(coordR)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("gio: coords line %d: want 'v x y'", line)
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("gio: coords line %d: bad vertex %q", line, fields[0])
+		}
+		if x[v], err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("gio: coords line %d: bad x", line)
+		}
+		if y[v], err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("gio: coords line %d: bad y", line)
+		}
+		seen[v] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("gio: vertex %d has no coordinates", v)
+		}
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if b.HasEdge(e[0], e[1]) {
+			continue
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.BuildEmbedded(x, y), nil
+}
+
+func scanEdges(r io.Reader) ([][2]int32, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges [][2]int32
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if fields[0] == "n" && len(fields) == 2 {
+			declared, err := strconv.Atoi(fields[1])
+			if err != nil || declared < 0 {
+				return nil, 0, fmt.Errorf("gio: line %d: bad vertex count", line)
+			}
+			if declared > n {
+				n = declared
+			}
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, 0, fmt.Errorf("gio: line %d: want 'u v'", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil || u < 0 {
+			return nil, 0, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 0 {
+			return nil, 0, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[1])
+		}
+		if u == v {
+			return nil, 0, fmt.Errorf("gio: line %d: self-loop at %d", line, u)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		if u+1 > n {
+			n = u + 1
+		}
+		if v+1 > n {
+			n = v + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return edges, n, nil
+}
+
+// ReadEdgeListFile reads an edge-list file by path.
+func ReadEdgeListFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// ReadEmbeddedFile reads an edge-list file plus a coordinates file.
+func ReadEmbeddedFile(edgePath, coordPath string) (*graph.Graph, error) {
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	cf, err := os.Open(coordPath)
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	return ReadEmbedded(ef, cf)
+}
+
+// WriteEdgeList writes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"planarsi/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "# a triangle\n0 1\n1 2\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want 3/3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListHeaderRaisesN(t *testing.T) {
+	in := "n 5\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 1 {
+		t.Fatalf("got n=%d m=%d, want 5/1", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListToleratesDuplicates(t *testing.T) {
+	in := "0 1\n1 0\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("duplicate edges not merged: m=%d", g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",     // one field
+		"0 1 2\n", // three fields
+		"a b\n",   // not numbers
+		"-1 2\n",  // negative
+		"3 3\n",   // self loop
+		"n x\n",   // bad header
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := graph.Grid(4, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("roundtrip changed size: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost in roundtrip", e)
+		}
+	}
+}
+
+func TestReadEmbedded(t *testing.T) {
+	edges := "0 1\n1 2\n2 0\n"
+	coords := "0 0 0\n1 1 0\n2 0.5 1\n"
+	g, err := ReadEmbedded(strings.NewReader(edges), strings.NewReader(coords))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Embedded() {
+		t.Fatal("graph should carry an embedding")
+	}
+	if err := graph.ValidateEmbedding(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEmbeddedMissingCoords(t *testing.T) {
+	edges := "0 1\n1 2\n"
+	coords := "0 0 0\n1 1 0\n" // vertex 2 missing
+	if _, err := ReadEmbedded(strings.NewReader(edges), strings.NewReader(coords)); err == nil {
+		t.Fatal("expected error for missing coordinates")
+	}
+}
+
+func TestReadEmbeddedBadCoordLines(t *testing.T) {
+	edges := "0 1\n"
+	for _, coords := range []string{"0 x 0\n1 0 0\n", "0 0\n1 0 0\n", "9 0 0\n"} {
+		if _, err := ReadEmbedded(strings.NewReader(edges), strings.NewReader(coords)); err == nil {
+			t.Errorf("coords %q: expected error", coords)
+		}
+	}
+}

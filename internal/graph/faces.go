@@ -1,0 +1,136 @@
+package graph
+
+import "fmt"
+
+// Face tracing for embedded planar graphs.
+//
+// A combinatorial embedding assigns every vertex a cyclic (counterclockwise)
+// order of its incident edges. The faces of the embedding are the orbits of
+// the "next dart" permutation: arriving at v along the dart (u -> v), the
+// face boundary continues along the edge that follows (v -> u) in clockwise
+// order around v. For a counterclockwise rotation list this is the
+// predecessor of u's position.
+//
+// Darts are indexed by their position in the CSR adjacency array: dart p
+// represents the directed edge (tail(p) -> g.adj[p]).
+
+// Faces holds the result of tracing an embedding.
+type Faces struct {
+	// FaceOfDart maps each dart (CSR position) to its face id.
+	FaceOfDart []int32
+	// Boundary holds, for each face, the cyclic sequence of vertices on
+	// its boundary walk (tails of the darts in orbit order).
+	Boundary [][]int32
+}
+
+// NumFaces returns the number of faces.
+func (f *Faces) NumFaces() int { return len(f.Boundary) }
+
+// dartTails returns, for each dart position, its tail vertex.
+func dartTails(g *Graph) []int32 {
+	tails := make([]int32, len(g.adj))
+	for v := int32(0); v < int32(g.N()); v++ {
+		for p := g.off[v]; p < g.off[v+1]; p++ {
+			tails[p] = v
+		}
+	}
+	return tails
+}
+
+// reverseDarts returns, for each dart p = (u -> v), the position of the
+// reverse dart (v -> u).
+func reverseDarts(g *Graph) []int32 {
+	tails := dartTails(g)
+	// Map (u, v) -> dart position. Keys packed into int64.
+	pos := make(map[int64]int32, len(g.adj))
+	for p := range g.adj {
+		u := tails[p]
+		v := g.adj[p]
+		pos[int64(u)<<32|int64(uint32(v))] = int32(p)
+	}
+	rev := make([]int32, len(g.adj))
+	for p := range g.adj {
+		u := tails[p]
+		v := g.adj[p]
+		q, ok := pos[int64(v)<<32|int64(uint32(u))]
+		if !ok {
+			panic(fmt.Sprintf("graph: missing reverse dart for (%d,%d)", u, v))
+		}
+		rev[p] = q
+	}
+	return rev
+}
+
+// TraceFaces computes the faces of an embedded graph's rotation system.
+// It panics if the graph is not embedded.
+func TraceFaces(g *Graph) *Faces {
+	if !g.embedded {
+		panic("graph: TraceFaces requires an embedded graph")
+	}
+	nd := len(g.adj)
+	rev := reverseDarts(g)
+	tails := dartTails(g)
+
+	// next[p]: the dart that follows p on its face boundary walk.
+	next := make([]int32, nd)
+	for p := 0; p < nd; p++ {
+		v := g.adj[p] // head of p
+		q := rev[p]   // dart (v -> tail(p))
+		lo, hi := g.off[v], g.off[v+1]
+		deg := hi - lo
+		lq := q - lo
+		// Clockwise successor of the reverse dart in v's ccw rotation.
+		next[p] = lo + (lq-1+deg)%deg
+	}
+
+	faceOf := make([]int32, nd)
+	for p := range faceOf {
+		faceOf[p] = -1
+	}
+	var boundary [][]int32
+	for p := 0; p < nd; p++ {
+		if faceOf[p] >= 0 {
+			continue
+		}
+		id := int32(len(boundary))
+		var walk []int32
+		q := int32(p)
+		for faceOf[q] < 0 {
+			faceOf[q] = id
+			walk = append(walk, tails[q])
+			q = next[q]
+		}
+		boundary = append(boundary, walk)
+	}
+	return &Faces{FaceOfDart: faceOf, Boundary: boundary}
+}
+
+// ValidateEmbedding checks Euler's formula for the rotation system of g.
+// Face tracing assigns every connected component its own outer face, and
+// isolated vertices carry no darts (hence no faces), so the generalized
+// identity is n - m + f = 2c - i, where c counts connected components and
+// i counts isolated vertices. For a connected planar embedding this is the
+// familiar n - m + f = 2. It returns an error when the rotation system is
+// not a planar embedding.
+func ValidateEmbedding(g *Graph) error {
+	if !g.embedded {
+		return fmt.Errorf("graph is not embedded")
+	}
+	if g.N() == 0 {
+		return nil
+	}
+	faces := TraceFaces(g)
+	_, comps := Components(g)
+	iso := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.Degree(v) == 0 {
+			iso++
+		}
+	}
+	n, m, f := g.N(), g.M(), faces.NumFaces()
+	if n-m+f != 2*comps-iso {
+		return fmt.Errorf("Euler check failed: n=%d m=%d f=%d components=%d isolated=%d (n-m+f=%d, want %d)",
+			n, m, f, comps, iso, n-m+f, 2*comps-iso)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package graph provides the immutable undirected graph type shared by the
+// whole repository, combinatorial embeddings (rotation systems) with face
+// tracing for planar graphs, generators for the planar graph families the
+// experiments use, and the structural subroutines the paper's pipeline
+// needs: induced subgraphs, minors by partition contraction, connected
+// components (sequential and parallel), articulation points, and BFS
+// utilities.
+//
+// Graphs are simple (no self-loops or parallel edges) and undirected.
+// Vertices are dense int32 identifiers in [0, N). Adjacency is stored in
+// CSR form; for embedded graphs the order of each adjacency list is the
+// counterclockwise rotation of edges around the vertex, which is exactly
+// the combinatorial embedding the paper's Section 5 consumes.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form.
+type Graph struct {
+	off      []int32 // length N+1; adjacency of v is adj[off[v]:off[v+1]]
+	adj      []int32
+	embedded bool
+	x, y     []float64 // optional planar coordinates (embedded graphs)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.off) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Neighbors returns the adjacency list of v. The caller must not modify it.
+// For embedded graphs the list is in counterclockwise rotation order.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
+
+// Embedded reports whether the adjacency lists carry a rotation system.
+func (g *Graph) Embedded() bool { return g.embedded }
+
+// Coords returns the planar coordinates of v (only for embedded graphs
+// built from coordinates).
+func (g *Graph) Coords(v int32) (float64, float64) {
+	if g.x == nil {
+		return 0, 0
+	}
+	return g.x[v], g.y[v]
+}
+
+// HasEdge reports whether u and v are adjacent. Linear in min degree.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDegree returns the minimum degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	md := g.Degree(0)
+	for v := int32(1); v < int32(n); v++ {
+		if d := g.Degree(v); d < md {
+			md = d
+		}
+	}
+	return md
+}
+
+// Edges returns every undirected edge once, as (u, v) with u < v.
+func (g *Graph) Edges() [][2]int32 {
+	out := make([][2]int32, 0, g.M())
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, [2]int32{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// IsComplete reports whether every pair of vertices is adjacent.
+func (g *Graph) IsComplete() bool {
+	n := g.N()
+	return g.M() == n*(n-1)/2
+}
+
+// String renders a short description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d embedded=%v}", g.N(), g.M(), g.embedded)
+}
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	adj [][]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return len(b.adj) }
+
+// AddEdge adds the undirected edge {u, v}. Adding a duplicate edge or a
+// self-loop panics: graphs in this repository are simple, and silent
+// duplicates would corrupt rotation systems and face tracing.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	for _, w := range b.adj[u] {
+		if w == v {
+			panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+		}
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// HasEdge reports whether the edge {u, v} has been added.
+func (b *Builder) HasEdge(u, v int32) bool {
+	if len(b.adj[u]) > len(b.adj[v]) {
+		u, v = v, u
+	}
+	for _, w := range b.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the current degree of v.
+func (b *Builder) Degree(v int32) int { return len(b.adj[v]) }
+
+// Build freezes the builder into a Graph without an embedding.
+func (b *Builder) Build() *Graph {
+	return b.build(false, nil, nil)
+}
+
+// BuildEmbedded freezes the builder into an embedded Graph using the given
+// planar coordinates: each adjacency list is sorted counterclockwise by
+// angle, which yields a valid rotation system whenever (x, y) is a
+// straight-line planar drawing.
+func (b *Builder) BuildEmbedded(x, y []float64) *Graph {
+	if len(x) != len(b.adj) || len(y) != len(b.adj) {
+		panic("graph: coordinate slices must have length n")
+	}
+	for v := range b.adj {
+		vs := b.adj[v]
+		vx, vy := x[v], y[v]
+		sort.Slice(vs, func(i, j int) bool {
+			ai := math.Atan2(y[vs[i]]-vy, x[vs[i]]-vx)
+			aj := math.Atan2(y[vs[j]]-vy, x[vs[j]]-vx)
+			return ai < aj
+		})
+	}
+	xc := make([]float64, len(x))
+	yc := make([]float64, len(y))
+	copy(xc, x)
+	copy(yc, y)
+	return b.build(true, xc, yc)
+}
+
+// BuildWithRotations freezes the builder, declaring that the insertion
+// order of each adjacency list already is a counterclockwise rotation
+// system. The caller is responsible for its validity; ValidateEmbedding
+// checks it via Euler's formula.
+func (b *Builder) BuildWithRotations() *Graph {
+	return b.build(true, nil, nil)
+}
+
+func (b *Builder) build(embedded bool, x, y []float64) *Graph {
+	n := len(b.adj)
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(len(b.adj[v]))
+	}
+	adj := make([]int32, off[n])
+	for v := 0; v < n; v++ {
+		copy(adj[off[v]:off[v+1]], b.adj[v])
+	}
+	return &Graph{off: off, adj: adj, embedded: embedded, x: x, y: y}
+}
+
+// FromEdges builds a (non-embedded) graph from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromRotations builds an embedded graph whose adjacency lists are the
+// given rotation lists, verbatim. It checks symmetry (w appears in
+// rot[v] exactly as often as v in rot[w], with no duplicates or loops)
+// but not planarity; ValidateEmbedding checks the latter.
+func FromRotations(rot [][]int32) (*Graph, error) {
+	n := len(rot)
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		seen := make(map[int32]bool, len(rot[v]))
+		for _, w := range rot[v] {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: rotation of %d references %d", v, w)
+			}
+			if int32(v) == w {
+				return nil, fmt.Errorf("graph: rotation of %d contains a self-loop", v)
+			}
+			if seen[w] {
+				return nil, fmt.Errorf("graph: rotation of %d repeats %d", v, w)
+			}
+			seen[w] = true
+		}
+		b.adj[v] = append([]int32{}, rot[v]...)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, w := range b.adj[v] {
+			found := false
+			for _, x := range b.adj[w] {
+				if x == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("graph: edge (%d,%d) missing its reverse", v, w)
+			}
+		}
+	}
+	return b.build(true, nil, nil), nil
+}

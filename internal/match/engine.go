@@ -1,0 +1,443 @@
+package match
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/wd"
+)
+
+// Problem is one bounded-treewidth subgraph isomorphism instance: find the
+// pattern H inside the target G, guided by the nice decomposition ND of G.
+type Problem struct {
+	G  *graph.Graph
+	H  *graph.Graph
+	ND *treedecomp.Nice
+
+	// Separating switches on the Section 5.2.2 extension.
+	Separating bool
+	// Allowed restricts the vertices of G that may be images of pattern
+	// vertices (nil = all). Separating covers mark merged minor vertices
+	// as not allowed.
+	Allowed []bool
+	// S is the vertex set to separate (separating mode only).
+	S []bool
+}
+
+func (p *Problem) allowed(v int32) bool {
+	return p.Allowed == nil || p.Allowed[v]
+}
+
+// Result carries the per-node valid state sets of a DP run. It doubles as
+// the transition engine: the *Successors methods are shared between the
+// sequential bottom-up run (Section 3.2) and the path-DAG parallel engine
+// of Section 3.3 (package pmdag), so both compute identical semantics.
+type Result struct {
+	p *Problem
+	// Sets[i] holds the valid states of nice node i.
+	Sets []map[State]struct{}
+	pi   patternInfo
+	// nodeSlot caches, per nice node, the slot of the introduced vertex
+	// in its own bag (introduce nodes) or of the forgotten vertex in the
+	// child's bag (forget nodes); -1 elsewhere. introAdj caches, per
+	// introduce node, the bitmask of bag slots holding G-neighbors of the
+	// introduced vertex. Both are per-node constants that the per-state
+	// transition loops would otherwise recompute million-fold.
+	nodeSlot []int32
+	introAdj []uint32
+	// statesGenerated counts every state emission (the work measure the
+	// Lemma 3.1 experiments report). Atomic: the pmdag engine drives
+	// transitions from parallel path workers.
+	statesGenerated atomic.Int64
+}
+
+// StatesGenerated returns the number of state emissions so far.
+func (r *Result) StatesGenerated() int64 { return r.statesGenerated.Load() }
+
+// NewEngine prepares a Result shell usable as a transition engine without
+// running the bottom-up DP (pmdag drives the transitions itself).
+func NewEngine(p *Problem) *Result {
+	if p.ND.Width+1 > MaxBag {
+		panic(fmt.Sprintf("match: bag size %d exceeds %d", p.ND.Width+1, MaxBag))
+	}
+	r := &Result{p: p, pi: newPatternInfo(p.H)}
+	nd := p.ND
+	n := nd.NumNodes()
+	r.Sets = make([]map[State]struct{}, n)
+	r.nodeSlot = make([]int32, n)
+	r.introAdj = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		r.nodeSlot[i] = -1
+		switch nd.Kind[i] {
+		case treedecomp.Introduce:
+			v := nd.Vertex[i]
+			r.nodeSlot[i] = int32(nd.Slot(int32(i), v))
+			var mask uint32
+			for _, w := range p.G.Neighbors(v) {
+				if ws := nd.Slot(int32(i), w); ws >= 0 {
+					mask |= 1 << uint(ws)
+				}
+			}
+			r.introAdj[i] = mask
+		case treedecomp.Forget:
+			r.nodeSlot[i] = int32(nd.Slot(nd.Left[i], nd.Vertex[i]))
+		}
+	}
+	return r
+}
+
+// Problem returns the instance this engine was built for.
+func (r *Result) Problem() *Problem { return r.p }
+
+// K returns the pattern size.
+func (r *Result) K() int { return r.pi.k }
+
+// AllMatchedMask returns the C mask meaning every pattern vertex matched.
+func (r *Result) AllMatchedMask() uint16 { return r.pi.allMatched() }
+
+// Found reports whether the root certifies an occurrence: every pattern
+// vertex matched, and in separating mode S seen on both sides.
+func (r *Result) Found() bool {
+	root := r.p.ND.Root
+	want := r.pi.allMatched()
+	for s := range r.Sets[root] {
+		if s.C == want && (!r.p.Separating || (s.IX && s.OX)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the sequential bottom-up DP (Section 3.2) and returns the
+// per-node valid state sets.
+func Run(p *Problem, tr *wd.Tracker) *Result {
+	r := NewEngine(p)
+	nd := p.ND
+	for _, i := range nd.Order {
+		var set map[State]struct{}
+		switch nd.Kind[i] {
+		case treedecomp.Leaf:
+			set = map[State]struct{}{emptyState(): {}}
+		case treedecomp.Introduce:
+			set = make(map[State]struct{}, len(r.Sets[nd.Left[i]]))
+			for cs := range r.Sets[nd.Left[i]] {
+				r.IntroduceSuccessors(i, cs, func(s State, _ bool) {
+					set[s] = struct{}{}
+				})
+			}
+		case treedecomp.Forget:
+			set = make(map[State]struct{}, len(r.Sets[nd.Left[i]]))
+			for cs := range r.Sets[nd.Left[i]] {
+				if s, ok := r.ForgetSuccessor(i, cs); ok {
+					set[s] = struct{}{}
+				}
+			}
+		case treedecomp.Join:
+			set = r.joinStep(i, r.Sets[nd.Left[i]], r.Sets[nd.Right[i]])
+		}
+		r.Sets[i] = set
+		tr.AddPhaseWork("dp", int64(len(set)))
+	}
+	tr.AddPhaseRounds("dp", int64(nd.NumNodes()))
+	return r
+}
+
+// IntroduceSuccessors enumerates the parent states that child state cs of
+// introduce node i transitions to, calling emit(state, newMatch) for each.
+// newMatch is true exactly when the transition maps a new pattern vertex
+// (a non-forest edge of Section 3.3.2); the skip/label transitions are the
+// no-new-match extensions of Figure 5.
+func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) {
+	p, pi := r.p, &r.pi
+	nd := p.ND
+	v := nd.Vertex[i]
+	slot := int(r.nodeSlot[i])
+	adjMask := r.introAdj[i]
+	base := remapIntroduce(cs, slot)
+	// Option (a): leave v unmatched by the pattern.
+	if !p.Separating {
+		emit(base, false)
+		r.statesGenerated.Add(1)
+	} else {
+		// Label v inside or outside, respecting G-edges to other
+		// unmapped bag vertices. Label masks only carry bits on unmapped
+		// slots (a vertex is mapped only at its own introduce, before any
+		// label), so intersecting them with the neighbor mask suffices.
+		forcedIn := base.In&adjMask != 0
+		forcedOut := base.Out&adjMask != 0
+		if !(forcedIn && forcedOut) {
+			if !forcedOut {
+				s := base
+				s.In |= 1 << uint(slot)
+				if p.S != nil && p.S[v] {
+					s.IX = true
+				}
+				emit(s, false)
+				r.statesGenerated.Add(1)
+			}
+			if !forcedIn {
+				s := base
+				s.Out |= 1 << uint(slot)
+				if p.S != nil && p.S[v] {
+					s.OX = true
+				}
+				emit(s, false)
+				r.statesGenerated.Add(1)
+			}
+		}
+	}
+	// Option (b): map some unmatched pattern vertex u onto v.
+	if !p.allowed(v) {
+		return
+	}
+	mmask := base.MMask(pi.k)
+	for u := 0; u < pi.k; u++ {
+		if base.Phi[u] >= 0 || base.C&(1<<u) != 0 {
+			continue
+		}
+		// No H-neighbor of u may be matched-in-a-child.
+		if pi.adj[u]&base.C != 0 {
+			continue
+		}
+		// Every H-neighbor already in M must map to a G-neighbor of v.
+		ok := true
+		for nb := pi.adj[u] & mmask; nb != 0; nb &= nb - 1 {
+			w := bits.TrailingZeros16(nb)
+			if adjMask>>uint(base.Phi[w])&1 == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s := base
+		s.Phi[u] = int8(slot)
+		emit(s, true)
+		r.statesGenerated.Add(1)
+	}
+}
+
+// ForgetSuccessor computes the unique parent state of child state cs at
+// forget node i, or ok=false when the transition is invalid (a mapped
+// vertex leaves the bag while an H-neighbor is still unmatched). Forget
+// transitions never match a new vertex: they are always forest edges.
+func (r *Result) ForgetSuccessor(i int32, cs State) (State, bool) {
+	pi := &r.pi
+	slot := int(r.nodeSlot[i]) // slot of v in the child's bag
+	// Which pattern vertex (if any) maps to the forgotten slot?
+	mapped := -1
+	for u := 0; u < pi.k; u++ {
+		if cs.Phi[u] == int8(slot) {
+			mapped = u
+			break
+		}
+	}
+	r.statesGenerated.Add(1)
+	if mapped >= 0 {
+		// u's image leaves the bags: all H-neighbors must already be
+		// matched (in M or C), else an edge could never realize.
+		inMC := cs.MMask(pi.k) | cs.C
+		if pi.adj[mapped]&^inMC != 0 {
+			return State{}, false
+		}
+		s := remapForget(cs, slot)
+		s.Phi[mapped] = -1
+		s.C |= 1 << uint(mapped)
+		return s, true
+	}
+	return remapForget(cs, slot), true
+}
+
+// JoinSignature is the shared-bag part of a state two join children must
+// agree on.
+type JoinSignature struct {
+	Phi     [MaxK]int8
+	In, Out uint32
+}
+
+// Signature extracts the join signature of a state.
+func (s *State) Signature() JoinSignature {
+	return JoinSignature{Phi: s.Phi, In: s.In, Out: s.Out}
+}
+
+// JoinCombine merges compatible sibling states at a join: equal signatures
+// (caller's responsibility), disjoint C sets, and no H-edge between the C
+// sets. The second return is false when incompatible.
+func (r *Result) JoinCombine(ls, rs State) (State, bool) {
+	r.statesGenerated.Add(1)
+	return combineJoin(&r.pi, ls, rs)
+}
+
+// joinStep combines the states of a join node's two children.
+func (r *Result) joinStep(i int32, left, right map[State]struct{}) map[State]struct{} {
+	pi := &r.pi
+	group := make(map[JoinSignature][]State, len(right))
+	for rs := range right {
+		group[rs.Signature()] = append(group[rs.Signature()], rs)
+	}
+	out := make(map[State]struct{})
+	for ls := range left {
+		for _, rs := range group[ls.Signature()] {
+			if s, ok := combineJoin(pi, ls, rs); ok {
+				out[s] = struct{}{}
+				r.statesGenerated.Add(1)
+			}
+		}
+	}
+	_ = i
+	return out
+}
+
+// combineJoin merges compatible left/right states at a join (equal Phi and
+// labels are the caller's responsibility).
+func combineJoin(pi *patternInfo, ls, rs State) (State, bool) {
+	if ls.C&rs.C != 0 {
+		return State{}, false // a pattern vertex matched in both subtrees
+	}
+	// No H-edge may connect the two forgotten regions.
+	for cl := ls.C; cl != 0; cl &= cl - 1 {
+		u := bits.TrailingZeros16(cl)
+		if pi.adj[u]&rs.C != 0 {
+			return State{}, false
+		}
+	}
+	s := ls
+	s.C |= rs.C
+	s.IX = ls.IX || rs.IX
+	s.OX = ls.OX || rs.OX
+	return s, true
+}
+
+// remapIntroduce shifts slot indices for a bag that gained a vertex at
+// position slot.
+func remapIntroduce(s State, slot int) State {
+	for u := range s.Phi {
+		if s.Phi[u] >= int8(slot) {
+			s.Phi[u]++
+		}
+	}
+	s.In = shiftMaskUp(s.In, slot)
+	s.Out = shiftMaskUp(s.Out, slot)
+	return s
+}
+
+// remapForget shifts slot indices for a bag that lost the vertex at
+// position slot (no pattern vertex maps there; labels at the slot drop).
+func remapForget(s State, slot int) State {
+	for u := range s.Phi {
+		if s.Phi[u] > int8(slot) {
+			s.Phi[u]--
+		}
+	}
+	s.In = shiftMaskDown(s.In, slot)
+	s.Out = shiftMaskDown(s.Out, slot)
+	return s
+}
+
+// shiftMaskUp inserts a zero bit at position slot. The caller guarantees
+// bit 31 is clear: a child bag has at most MaxBag-1 slots before an
+// introduce grows it to MaxBag, so label masks never occupy the top bit
+// prior to insertion.
+func shiftMaskUp(m uint32, slot int) uint32 {
+	low := m & ((1 << uint(slot)) - 1)
+	high := m &^ ((1 << uint(slot)) - 1)
+	return low | high<<1
+}
+
+// shiftMaskDown removes the bit at position slot.
+func shiftMaskDown(m uint32, slot int) uint32 {
+	low := m & ((1 << uint(slot)) - 1)
+	high := m >> uint(slot+1)
+	return low | high<<uint(slot)
+}
+
+// Universe enumerates every locally valid plain-mode state of node i: all
+// injective partial maps of pattern vertices onto bag slots realizing the
+// H-edges inside the bag and respecting Allowed, combined with every C
+// set that has no H-edge into the implicit U set. This is the vertex set
+// of the Section 3.3.2 graph of partial matches ("for every other node X
+// in P, there is a vertex for every partial match of that node X"); the
+// count is bounded by (τ+3)^k.
+func (r *Result) Universe(i int32) []State {
+	if r.p.Separating {
+		panic("match: Universe supports plain mode only (pmdag engine)")
+	}
+	pi := &r.pi
+	nd := r.p.ND
+	bag := nd.Bag[i]
+	// Per-slot adjacency and allowed masks, computed once per node: the
+	// DFS below would otherwise pay a HasEdge scan per candidate.
+	bagAdj := make([]uint32, len(bag))
+	var allowedMask uint32
+	for slot, v := range bag {
+		if r.p.allowed(v) {
+			allowedMask |= 1 << uint(slot)
+		}
+		for _, w := range r.p.G.Neighbors(v) {
+			if ws := nd.Slot(i, w); ws >= 0 {
+				bagAdj[slot] |= 1 << uint(ws)
+			}
+		}
+	}
+	var out []State
+	var phis []State
+	// Enumerate injective maps by DFS over pattern vertices.
+	var rec func(u int, s State, usedSlots uint32)
+	rec = func(u int, s State, usedSlots uint32) {
+		if u == pi.k {
+			phis = append(phis, s)
+			return
+		}
+		rec(u+1, s, usedSlots) // leave u unmapped for now
+		mmask := s.MMask(pi.k)
+		for slot := 0; slot < len(bag); slot++ {
+			if usedSlots&(1<<uint(slot)) != 0 || allowedMask>>uint(slot)&1 == 0 {
+				continue
+			}
+			ok := true
+			for nb := pi.adj[u] & mmask; nb != 0; nb &= nb - 1 {
+				w := bits.TrailingZeros16(nb)
+				if bagAdj[slot]>>uint(s.Phi[w])&1 == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			s2 := s
+			s2.Phi[u] = int8(slot)
+			rec(u+1, s2, usedSlots|1<<uint(slot))
+		}
+	}
+	rec(0, emptyState(), 0)
+	// Attach every C subset of the unmapped vertices with no edge to U.
+	for _, s := range phis {
+		m := s.MMask(pi.k)
+		free := uint16((1<<pi.k)-1) &^ m
+		for c := free; ; c = (c - 1) & free {
+			uSet := free &^ c
+			ok := true
+			for cc := c; cc != 0; cc &= cc - 1 {
+				u := bits.TrailingZeros16(cc)
+				if pi.adj[u]&uSet != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				s2 := s
+				s2.C = c
+				out = append(out, s2)
+			}
+			if c == 0 {
+				break
+			}
+		}
+	}
+	return out
+}

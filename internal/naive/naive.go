@@ -1,0 +1,155 @@
+// Package naive implements a backtracking subgraph isomorphism solver in
+// the spirit of Ullmann's algorithm: pattern vertices are ordered along a
+// BFS of the pattern (so each new vertex attaches to an already-matched
+// neighbor when the pattern is connected), candidates are pruned by degree
+// and adjacency consistency, and the search backtracks on failure.
+//
+// Its worst-case work is n^k — the general-case baseline in the paper's
+// Table 1 discussion ("no algorithm with less work than the naive n^k is
+// known") — and it serves as the correctness oracle for every other
+// matcher in this repository.
+package naive
+
+import (
+	"planarsi/internal/graph"
+)
+
+// Options configures a search.
+type Options struct {
+	// Limit stops after this many occurrences (0 = unbounded).
+	Limit int
+	// CountWork, when non-nil, accumulates the number of candidate
+	// extension attempts (the work measure for Table 1).
+	CountWork *int64
+}
+
+// Decide reports whether the pattern h occurs in g as a subgraph.
+func Decide(g, h *graph.Graph) bool {
+	res := Search(g, h, Options{Limit: 1})
+	return len(res) > 0
+}
+
+// Search returns injective mappings (pattern vertex -> target vertex)
+// realizing every H-edge, up to opts.Limit of them. All distinct mappings
+// are enumerated (automorphic images of the same subgraph count
+// separately, matching the semantics of the paper's listing problem).
+func Search(g, h *graph.Graph, opts Options) [][]int32 {
+	k := h.N()
+	n := g.N()
+	if k == 0 {
+		return [][]int32{{}}
+	}
+	if k > n {
+		return nil
+	}
+	order := searchOrder(h)
+	// earlier[i] = H-neighbors of order[i] that appear before i in order.
+	earlier := make([][]int32, k)
+	posOf := make([]int32, k)
+	for i, u := range order {
+		posOf[u] = int32(i)
+	}
+	for i, u := range order {
+		for _, w := range h.Neighbors(u) {
+			if posOf[w] < int32(i) {
+				earlier[i] = append(earlier[i], w)
+			}
+		}
+	}
+	assign := make([]int32, k)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, n)
+	var out [][]int32
+	var work int64
+
+	var rec func(i int) bool // returns true when the limit is reached
+	rec = func(i int) bool {
+		if i == k {
+			m := make([]int32, k)
+			copy(m, assign)
+			out = append(out, m)
+			return opts.Limit > 0 && len(out) >= opts.Limit
+		}
+		u := order[i]
+		degU := h.Degree(u)
+		// Candidates: neighbors of an already-matched H-neighbor when one
+		// exists (connected patterns), else all vertices.
+		var candidates []int32
+		if len(earlier[i]) > 0 {
+			candidates = g.Neighbors(assign[earlier[i][0]])
+		} else {
+			candidates = allVertices(n)
+		}
+		for _, v := range candidates {
+			work++
+			if used[v] || g.Degree(v) < degU {
+				continue
+			}
+			ok := true
+			for _, w := range earlier[i] {
+				if !g.HasEdge(v, assign[w]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[u] = v
+			used[v] = true
+			done := rec(i + 1)
+			used[v] = false
+			assign[u] = -1
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	if opts.CountWork != nil {
+		*opts.CountWork += work
+	}
+	return out
+}
+
+// searchOrder returns the pattern vertices in BFS order from a maximum
+// degree vertex, visiting each connected component in turn.
+func searchOrder(h *graph.Graph) []int32 {
+	k := h.N()
+	visited := make([]bool, k)
+	var order []int32
+	for len(order) < k {
+		// Highest-degree unvisited vertex starts the next component.
+		start := int32(-1)
+		for v := int32(0); v < int32(k); v++ {
+			if !visited[v] && (start < 0 || h.Degree(v) > h.Degree(start)) {
+				start = v
+			}
+		}
+		queue := []int32{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range h.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func allVertices(n int) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}

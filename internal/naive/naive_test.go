@@ -1,0 +1,129 @@
+package naive
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"planarsi/internal/graph"
+)
+
+func TestDecideBasics(t *testing.T) {
+	g := graph.Grid(3, 3)
+	if !Decide(g, graph.Path(3)) {
+		t.Fatal("P3 must occur in a grid")
+	}
+	if !Decide(g, graph.Cycle(4)) {
+		t.Fatal("C4 must occur in a grid")
+	}
+	if Decide(g, graph.Cycle(3)) {
+		t.Fatal("no triangle in a bipartite grid")
+	}
+	if Decide(g, graph.Star(6)) {
+		t.Fatal("no degree-5 vertex in a 3x3 grid")
+	}
+}
+
+func TestSearchCountsExactly(t *testing.T) {
+	// C4 in a 2x2 grid: one square, 8 automorphic maps.
+	g := graph.Grid(2, 2)
+	occs := Search(g, graph.Cycle(4), Options{})
+	if len(occs) != 8 {
+		t.Fatalf("C4 maps in unit square = %d, want 8", len(occs))
+	}
+	// P2 (an edge) in a triangle: 3 edges x 2 directions.
+	occs = Search(graph.Cycle(3), graph.Path(2), Options{})
+	if len(occs) != 6 {
+		t.Fatalf("edge maps in triangle = %d, want 6", len(occs))
+	}
+	// K3 in K4: 4 triangles x 6 maps.
+	occs = Search(graph.Complete(4), graph.Cycle(3), Options{})
+	if len(occs) != 24 {
+		t.Fatalf("triangle maps in K4 = %d, want 24", len(occs))
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	g := graph.Complete(6)
+	occs := Search(g, graph.Path(3), Options{Limit: 5})
+	if len(occs) != 5 {
+		t.Fatalf("limited search returned %d, want 5", len(occs))
+	}
+}
+
+func TestSearchEmptyAndOversized(t *testing.T) {
+	g := graph.Path(3)
+	if occs := Search(g, graph.NewBuilder(0).Build(), Options{}); len(occs) != 1 {
+		t.Fatalf("empty pattern should yield the empty map, got %d", len(occs))
+	}
+	if occs := Search(g, graph.Path(4), Options{}); len(occs) != 0 {
+		t.Fatalf("oversized pattern matched: %d", len(occs))
+	}
+}
+
+func TestSearchDisconnectedPattern(t *testing.T) {
+	// Two isolated vertices in a 2-vertex edgeless graph: 2 orderings.
+	g := graph.NewBuilder(2).Build()
+	h := graph.NewBuilder(2).Build()
+	if occs := Search(g, h, Options{}); len(occs) != 2 {
+		t.Fatalf("got %d, want 2", len(occs))
+	}
+	// Two disjoint edges in P4: only the end pairs {0,1},{2,3} work.
+	p4 := graph.Path(4)
+	hh := graph.DisjointUnion(graph.Path(2), graph.Path(2))
+	occs := Search(p4, hh, Options{})
+	// Valid images: edges {0,1} and {2,3} in either component order, each
+	// edge in 2 orientations: 2 x 2 x 2 = 8.
+	if len(occs) != 8 {
+		t.Fatalf("disjoint edges in P4 = %d, want 8", len(occs))
+	}
+}
+
+func TestAllResultsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomPlanar(8+rng.IntN(12), rng.Float64(), rng)
+		h := graph.RandomTree(2+rng.IntN(3), rng)
+		for _, occ := range Search(g, h, Options{}) {
+			seen := map[int32]bool{}
+			for _, v := range occ {
+				if seen[v] {
+					t.Fatalf("trial %d: non-injective %v", trial, occ)
+				}
+				seen[v] = true
+			}
+			for _, e := range h.Edges() {
+				if !g.HasEdge(occ[e[0]], occ[e[1]]) {
+					t.Fatalf("trial %d: unrealized edge in %v", trial, occ)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkCounter(t *testing.T) {
+	var work int64
+	Search(graph.Grid(4, 4), graph.Path(3), Options{CountWork: &work})
+	if work == 0 {
+		t.Fatal("work counter not incremented")
+	}
+}
+
+func TestNoDuplicateResults(t *testing.T) {
+	g := graph.Grid(3, 4)
+	occs := Search(g, graph.Cycle(4), Options{})
+	seen := map[string]bool{}
+	for _, occ := range occs {
+		key := ""
+		for _, v := range occ {
+			key += string(rune(v)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate occurrence %v", occ)
+		}
+		seen[key] = true
+	}
+	// 3x4 grid has 6 unit squares, 8 maps each.
+	if len(occs) != 48 {
+		t.Fatalf("C4 maps = %d, want 48", len(occs))
+	}
+}

@@ -1,0 +1,276 @@
+// Package par provides the shared-memory parallel primitives that stand in
+// for the paper's CREW PRAM: fork-join parallel loops, parallel reductions,
+// parallel prefix sums, packing, and an explicit work-stealing pool.
+//
+// Two execution engines are provided.
+//
+// The package-level functions (Do, For, Reduce, ...) use goroutines
+// throttled by a semaphore sized to runtime.GOMAXPROCS(0), with an inline
+// sequential fallback when no worker slot is free. This idiom is
+// deadlock-free under arbitrary nesting and is the engine the algorithm
+// packages use.
+//
+// Pool implements a classic work-stealing fork-join runtime (Chase-Lev
+// deques, help-while-joining) as an explicit, benchmarkable substrate; the
+// ablation benchmarks compare the two engines.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// procs is the number of worker slots used by the package-level engine.
+var procs = runtime.GOMAXPROCS(0)
+
+// sem holds the spare worker slots. The calling goroutine always works too,
+// so there are procs-1 spare slots.
+var sem = make(chan struct{}, maxInt(procs-1, 0))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Parallelism reports the number of workers the package-level engine uses.
+func Parallelism() int { return procs }
+
+// Do runs the given functions, possibly in parallel, and returns when all
+// of them have returned. It is the fork-join primitive: fork every function
+// but the first into a worker slot if one is free, run the rest inline.
+func Do(fs ...func()) {
+	switch len(fs) {
+	case 0:
+		return
+	case 1:
+		fs[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range fs[1:] {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(f func()) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				f()
+			}(f)
+		default:
+			f()
+		}
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// For runs f(i) for every i in [lo, hi), possibly in parallel, with an
+// automatically chosen grain size.
+func For(lo, hi int, f func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	grain := n / (8 * procs)
+	if grain < 1 {
+		grain = 1
+	}
+	ForGrain(lo, hi, grain, f)
+}
+
+// ForGrain runs f(i) for every i in [lo, hi) with the given grain size:
+// ranges of at most grain indices run sequentially.
+func ForGrain(lo, hi, grain int, f func(i int)) {
+	ForBlocks(lo, hi, grain, func(l, h int) {
+		for i := l; i < h; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForBlocks splits [lo, hi) into blocks of at most grain indices and runs
+// body on each block, possibly in parallel. Recursive halving gives
+// logarithmic fork depth, matching the PRAM convention that a parallel-for
+// costs O(log n) depth to fork.
+func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	var run func(lo, hi int)
+	run = func(lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			// Try to fork the right half; degrade to sequential
+			// execution of both halves if no worker is free.
+			select {
+			case sem <- struct{}{}:
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func(l, h int) {
+					defer func() {
+						<-sem
+						wg.Done()
+					}()
+					run(l, h)
+				}(mid, hi)
+				run(lo, mid)
+				wg.Wait()
+				return
+			default:
+				run(lo, mid)
+				lo = mid
+			}
+		}
+		if lo < hi {
+			body(lo, hi)
+		}
+	}
+	if lo < hi {
+		run(lo, hi)
+	}
+}
+
+// alignedBlocks partitions [lo, hi) into ⌈n/grain⌉ consecutive blocks of
+// exactly grain indices (the last may be short) and runs body(b, l, h) for
+// each block b, possibly in parallel. Unlike ForBlocks, block boundaries
+// are aligned multiples of grain, so b indexes per-block scratch safely.
+func alignedBlocks(lo, hi, grain int, body func(b, l, h int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nblocks := (n + grain - 1) / grain
+	ForBlocks(0, nblocks, 1, func(bl, bh int) {
+		for b := bl; b < bh; b++ {
+			l := lo + b*grain
+			h := l + grain
+			if h > hi {
+				h = hi
+			}
+			body(b, l, h)
+		}
+	})
+}
+
+func autoGrain(n int) int {
+	grain := n / (8 * procs)
+	if grain < 1 {
+		grain = 1
+	}
+	return grain
+}
+
+// Reduce computes comb over f(i) for i in [lo, hi) in parallel.
+// comb must be associative; id is its identity.
+func Reduce[T any](lo, hi int, id T, f func(i int) T, comb func(a, b T) T) T {
+	n := hi - lo
+	if n <= 0 {
+		return id
+	}
+	grain := autoGrain(n)
+	nblocks := (n + grain - 1) / grain
+	partial := make([]T, nblocks)
+	alignedBlocks(lo, hi, grain, func(b, l, h int) {
+		acc := id
+		for i := l; i < h; i++ {
+			acc = comb(acc, f(i))
+		}
+		partial[b] = acc
+	})
+	acc := id
+	for _, p := range partial {
+		acc = comb(acc, p)
+	}
+	return acc
+}
+
+// Integer is the constraint for the prefix-sum and pack helpers.
+type Integer interface {
+	~int | ~int32 | ~int64
+}
+
+// ExclusivePrefixSum replaces xs with its exclusive prefix sum and returns
+// the total. It uses the standard two-pass blocked parallel scan
+// (O(n) work, O(log n) depth up to the block-combine pass).
+func ExclusivePrefixSum[T Integer](xs []T) T {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	grain := autoGrain(n)
+	nblocks := (n + grain - 1) / grain
+	sums := make([]T, nblocks)
+	alignedBlocks(0, n, grain, func(b, l, h int) {
+		var s T
+		for i := l; i < h; i++ {
+			s += xs[i]
+		}
+		sums[b] = s
+	})
+	var total T
+	for b := 0; b < nblocks; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	alignedBlocks(0, n, grain, func(b, l, h int) {
+		acc := sums[b]
+		for i := l; i < h; i++ {
+			v := xs[i]
+			xs[i] = acc
+			acc += v
+		}
+	})
+	return total
+}
+
+// Pack returns the elements of xs whose index satisfies keep, preserving
+// order, using a parallel prefix sum over flags (O(n) work, O(log n) depth).
+func Pack[T any](xs []T, keep func(i int) bool) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int32, n)
+	For(0, n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusivePrefixSum(flags)
+	out := make([]T, total)
+	For(0, n, func(i int) {
+		if keep(i) {
+			out[flags[i]] = xs[i]
+		}
+	})
+	return out
+}
+
+// PackIndex returns the indices in [0, n) that satisfy keep, in order.
+func PackIndex(n int, keep func(i int) bool) []int32 {
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int32, n)
+	For(0, n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusivePrefixSum(flags)
+	out := make([]int32, total)
+	For(0, n, func(i int) {
+		if keep(i) {
+			out[flags[i]] = int32(i)
+		}
+	})
+	return out
+}

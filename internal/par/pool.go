@@ -1,0 +1,303 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements an explicit work-stealing fork-join pool in the
+// style of Cilk / Blumofe-Leiserson schedulers: each worker owns a
+// Chase-Lev deque, pushes forked tasks to its own bottom, pops LIFO, and
+// steals FIFO from the top of a random victim. A joining worker helps by
+// running tasks until the joined future completes, so joins never block a
+// worker thread.
+//
+// Brent's theorem is what connects this scheduler back to the paper's
+// bounds: a computation with work W and depth D executes in O(W/P + D)
+// steps on P workers under any greedy scheduler, of which work stealing is
+// the standard practical instance.
+
+// Task is the unit of work executed by a Pool.
+type Task func(*Ctx)
+
+// deque is a Chase-Lev work-stealing deque of Tasks.
+// The owner pushes and pops at the bottom; thieves steal from the top.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[dequeBuf]
+}
+
+type dequeBuf struct {
+	mask  int64
+	tasks []atomic.Pointer[Task]
+}
+
+func newDequeBuf(capacity int64) *dequeBuf {
+	return &dequeBuf{mask: capacity - 1, tasks: make([]atomic.Pointer[Task], capacity)}
+}
+
+func (b *dequeBuf) get(i int64) *Task    { return b.tasks[i&b.mask].Load() }
+func (b *dequeBuf) put(i int64, t *Task) { b.tasks[i&b.mask].Store(t) }
+func (b *dequeBuf) capacity() int64      { return b.mask + 1 }
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newDequeBuf(64))
+	return d
+}
+
+// push adds a task at the bottom. Owner only.
+func (d *deque) push(t *Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	buf := d.buf.Load()
+	if b-top >= buf.capacity() {
+		// Grow: copy the live window into a buffer twice the size.
+		nb := newDequeBuf(buf.capacity() * 2)
+		for i := top; i < b; i++ {
+			nb.put(i, buf.get(i))
+		}
+		d.buf.Store(nb)
+		buf = nb
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner only.
+func (d *deque) pop() *Task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	task := d.buf.Load().get(b)
+	if t == b {
+		// Last element: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			task = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+	}
+	return task
+}
+
+// steal removes the oldest task. Any thread.
+func (d *deque) steal() *Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	task := d.buf.Load().get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil // lost the race; caller retries elsewhere
+	}
+	return task
+}
+
+// Future is the join handle returned by Ctx.Fork.
+type Future struct {
+	done atomic.Bool
+	// claimed marks the task as started (by owner pop, a thief, or the
+	// joiner running it inline) so it executes exactly once.
+	claimed atomic.Bool
+	f       Task
+}
+
+// run executes the future's function exactly once; later callers no-op.
+func (fu *Future) run(ctx *Ctx) {
+	if fu.claimed.CompareAndSwap(false, true) {
+		fu.f(ctx)
+		fu.done.Store(true)
+	}
+}
+
+// Pool is a work-stealing fork-join pool with a fixed number of workers.
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	workers []*worker
+	inbox   chan *rootJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	rng     atomic.Uint64
+}
+
+type rootJob struct {
+	task Task
+	done chan struct{}
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	dq   *deque
+	rnd  uint64
+}
+
+// NewPool creates a pool with p workers (p <= 0 selects GOMAXPROCS).
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	pool := &Pool{
+		inbox: make(chan *rootJob),
+		quit:  make(chan struct{}),
+	}
+	pool.workers = make([]*worker, p)
+	for i := range pool.workers {
+		pool.workers[i] = &worker{pool: pool, id: i, dq: newDeque(), rnd: uint64(i)*0x9e3779b97f4a7c15 + 1}
+	}
+	pool.wg.Add(p)
+	for _, w := range pool.workers {
+		go w.loop()
+	}
+	return pool
+}
+
+// Close shuts the pool down. Pending Run calls must have returned.
+func (p *Pool) Close() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Run executes task on the pool and blocks until it (and everything it
+// joined) returns.
+func (p *Pool) Run(task Task) {
+	job := &rootJob{task: task, done: make(chan struct{})}
+	p.inbox <- job
+	<-job.done
+}
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	ctx := &Ctx{w: w}
+	idleSpins := 0
+	for {
+		if t := w.findTask(); t != nil {
+			(*t)(ctx)
+			idleSpins = 0
+			continue
+		}
+		select {
+		case job := <-w.pool.inbox:
+			job.task(ctx)
+			close(job.done)
+			idleSpins = 0
+		case <-w.pool.quit:
+			return
+		default:
+			idleSpins++
+			if idleSpins < 64 {
+				runtime.Gosched()
+			} else {
+				// Park lightly on the inbox or quit.
+				select {
+				case job := <-w.pool.inbox:
+					job.task(ctx)
+					close(job.done)
+					idleSpins = 0
+				case <-w.pool.quit:
+					return
+				}
+			}
+		}
+	}
+}
+
+// findTask pops locally or steals from a random victim.
+func (w *worker) findTask() *Task {
+	if t := w.dq.pop(); t != nil {
+		return t
+	}
+	n := len(w.pool.workers)
+	// xorshift for victim selection
+	w.rnd ^= w.rnd << 13
+	w.rnd ^= w.rnd >> 7
+	w.rnd ^= w.rnd << 17
+	start := int(w.rnd % uint64(n))
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// Ctx is the per-worker context threaded through pool tasks.
+type Ctx struct {
+	w *worker
+}
+
+// Fork schedules f to run asynchronously and returns its join handle.
+func (c *Ctx) Fork(f Task) *Future {
+	fu := &Future{f: f}
+	t := Task(fu.run)
+	c.w.dq.push(&t)
+	return fu
+}
+
+// Join waits for fu, helping with other tasks while it is outstanding.
+func (c *Ctx) Join(fu *Future) {
+	for !fu.done.Load() {
+		if t := c.w.findTask(); t != nil {
+			(*t)(c)
+			continue
+		}
+		// Nothing to help with. If the forked task has not started yet
+		// run it inline; otherwise a thief is mid-execution, so yield.
+		fu.run(c)
+		if fu.done.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Do runs the functions as a fork-join group: all but the first are forked,
+// the first runs inline, then all forks are joined.
+func (c *Ctx) Do(fs ...Task) {
+	if len(fs) == 0 {
+		return
+	}
+	futures := make([]*Future, len(fs)-1)
+	for i := len(fs) - 1; i >= 1; i-- {
+		futures[i-1] = c.Fork(fs[i])
+	}
+	fs[0](c)
+	for _, fu := range futures {
+		c.Join(fu)
+	}
+}
+
+// For runs f(i) for i in [lo, hi) using recursive halving on the pool.
+func (c *Ctx) For(lo, hi, grain int, f func(i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	var run Task
+	var rec func(ctx *Ctx, lo, hi int)
+	rec = func(ctx *Ctx, lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			l, h := mid, hi
+			fu := ctx.Fork(func(c2 *Ctx) { rec(c2, l, h) })
+			hi = mid
+			defer ctx.Join(fu)
+		}
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	}
+	run = func(ctx *Ctx) { rec(ctx, lo, hi) }
+	run(c)
+}

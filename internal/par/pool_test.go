@@ -1,0 +1,193 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeLIFOFIFO(t *testing.T) {
+	d := newDeque()
+	mk := func(i int) *Task {
+		t := Task(func(*Ctx) { _ = i })
+		return &t
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	d.push(a)
+	d.push(b)
+	d.push(c)
+	if got := d.pop(); got != c {
+		t.Fatal("pop should be LIFO (expected c)")
+	}
+	if got := d.steal(); got != a {
+		t.Fatal("steal should be FIFO (expected a)")
+	}
+	if got := d.pop(); got != b {
+		t.Fatal("expected b")
+	}
+	if d.pop() != nil || d.steal() != nil {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newDeque()
+	const n = 1000
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tt := Task(func(*Ctx) {})
+		tasks[i] = &tt
+		d.push(tasks[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := d.pop(); got != tasks[i] {
+			t.Fatalf("pop %d: wrong task", i)
+		}
+	}
+}
+
+// Stress the deque with one owner and several thieves; every task must be
+// extracted exactly once.
+func TestDequeStress(t *testing.T) {
+	d := newDeque()
+	const total = 20000
+	var extracted atomic.Int64
+	var claimed [total]atomic.Int32
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for thief := 0; thief < 3; thief++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tk := d.steal(); tk != nil {
+					(*tk)(nil)
+					extracted.Add(1)
+				}
+				select {
+				case <-stop:
+					// Drain what is left.
+					for {
+						tk := d.steal()
+						if tk == nil {
+							return
+						}
+						(*tk)(nil)
+						extracted.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		i := i
+		tk := Task(func(*Ctx) {
+			if claimed[i].Add(1) != 1 {
+				t.Errorf("task %d executed twice", i)
+			}
+		})
+		d.push(&tk)
+		if i%3 == 0 {
+			if got := d.pop(); got != nil {
+				(*got)(nil)
+				extracted.Add(1)
+			}
+		}
+	}
+	// Owner drains its own deque.
+	for {
+		tk := d.pop()
+		if tk == nil {
+			break
+		}
+		(*tk)(nil)
+		extracted.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	if extracted.Load() != total {
+		t.Fatalf("extracted %d tasks, want %d", extracted.Load(), total)
+	}
+}
+
+func TestPoolRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var x atomic.Int32
+	p.Run(func(c *Ctx) { x.Store(7) })
+	if x.Load() != 7 {
+		t.Fatal("Run did not execute the task")
+	}
+}
+
+func TestPoolForkJoin(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(func(c *Ctx) {
+		var rec func(c *Ctx, lo, hi int)
+		rec = func(c *Ctx, lo, hi int) {
+			if hi-lo <= 4 {
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			fu := c.Fork(func(c2 *Ctx) { rec(c2, mid, hi) })
+			rec(c, lo, mid)
+			c.Join(fu)
+		}
+		rec(c, 0, 1000)
+	})
+	if sum.Load() != 999*1000/2 {
+		t.Fatalf("fork-join sum=%d want %d", sum.Load(), 999*1000/2)
+	}
+}
+
+func TestPoolFor(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	n := 5000
+	counts := make([]atomic.Int32, n)
+	p.Run(func(c *Ctx) {
+		c.For(0, n, 16, func(i int) { counts[i].Add(1) })
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestPoolDo(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var a, b, c atomic.Int32
+	p.Run(func(ctx *Ctx) {
+		ctx.Do(
+			func(*Ctx) { a.Store(1) },
+			func(*Ctx) { b.Store(2) },
+			func(*Ctx) { c.Store(3) },
+		)
+	})
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatal("Ctx.Do did not run all tasks")
+	}
+}
+
+func TestPoolManySequentialRuns(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	for r := 0; r < 50; r++ {
+		p.Run(func(c *Ctx) {
+			c.For(0, 100, 8, func(i int) { total.Add(1) })
+		})
+	}
+	if total.Load() != 5000 {
+		t.Fatalf("total=%d want 5000", total.Load())
+	}
+}

@@ -1,0 +1,510 @@
+// Package planarity tests planarity and computes combinatorial planar
+// embeddings (rotation systems) of arbitrary simple graphs.
+//
+// The paper assumes an embedding is available — its pipeline consumes a
+// rotation system when building the vertex-face incidence graph of
+// Section 5 — and cites the Klein-Reif parallel embedder (O(n) work,
+// O(log² n) depth) for obtaining one. This package substitutes the
+// classic sequential Demoucron-Malgrange-Pertuiset (DMP) algorithm:
+// quadratic instead of parallel, but exact, and sufficient to let the
+// tools run on raw edge lists (DESIGN.md records the substitution; the
+// embedding is input preprocessing, not part of the measured pipeline).
+//
+// DMP embeds one biconnected block at a time. A block starts as a cycle
+// (two faces); repeatedly, the *fragments* relative to the embedded
+// subgraph H (unembedded edges between embedded vertices, and components
+// of G−V(H) with their attachment edges) are assigned their sets of
+// admissible faces — faces whose boundary contains all the fragment's
+// attachments. A fragment with no admissible face certifies
+// non-planarity; otherwise a fragment with the fewest admissible faces
+// embeds one of its attachment-to-attachment paths into an admissible
+// face, splitting it in two. Faces are maintained as cyclic dart walks,
+// so the split is list surgery; the rotation system is recovered at the
+// end from the face successor permutation via σ(next(d)) = rev(d).
+// Blocks share only cut vertices, so their rotations concatenate.
+package planarity
+
+import (
+	"errors"
+	"fmt"
+
+	"planarsi/internal/graph"
+)
+
+// ErrNotPlanar reports that the input graph has no planar embedding.
+var ErrNotPlanar = errors.New("planarity: graph is not planar")
+
+// dart is a directed edge.
+type dart struct{ u, v int32 }
+
+func (d dart) rev() dart { return dart{d.v, d.u} }
+
+// Embed returns a copy of g carrying a combinatorial planar embedding
+// (rotation system), or ErrNotPlanar. The input must be simple; it may
+// be disconnected.
+func Embed(g *graph.Graph) (*graph.Graph, error) {
+	n := g.N()
+	if n == 0 {
+		return g, nil
+	}
+	// Euler quick reject.
+	if n >= 3 && g.M() > 3*n-6 {
+		return nil, fmt.Errorf("%w: m=%d > 3n-6=%d", ErrNotPlanar, g.M(), 3*n-6)
+	}
+	rot := make([][]int32, n)
+	for _, block := range blocks(g) {
+		if len(block) == 1 {
+			// A bridge: both endpoints just gain one rotation entry.
+			e := block[0]
+			rot[e[0]] = append(rot[e[0]], e[1])
+			rot[e[1]] = append(rot[e[1]], e[0])
+			continue
+		}
+		if err := embedBlock(block, rot); err != nil {
+			return nil, err
+		}
+	}
+	return graph.FromRotations(rot)
+}
+
+// IsPlanar reports whether g is planar.
+func IsPlanar(g *graph.Graph) bool {
+	_, err := Embed(g)
+	return err == nil
+}
+
+// blocks returns the biconnected components of g as edge lists
+// (each edge once, endpoints in original ids), via the classic
+// lowpoint edge-stack DFS.
+func blocks(g *graph.Graph) [][][2]int32 {
+	n := g.N()
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	iter := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var out [][][2]int32
+	var edgeStack [][2]int32
+	timer := int32(0)
+	var stack []int32
+	for s := int32(0); s < int32(n); s++ {
+		if disc[s] >= 0 {
+			continue
+		}
+		disc[s], low[s] = timer, timer
+		timer++
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			nbrs := g.Neighbors(v)
+			if int(iter[v]) < len(nbrs) {
+				w := nbrs[iter[v]]
+				iter[v]++
+				if disc[w] < 0 {
+					parent[w] = v
+					edgeStack = append(edgeStack, [2]int32{v, w})
+					disc[w], low[w] = timer, timer
+					timer++
+					stack = append(stack, w)
+				} else if w != parent[v] && disc[w] < disc[v] {
+					edgeStack = append(edgeStack, [2]int32{v, w})
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p < 0 {
+				continue
+			}
+			if low[v] < low[p] {
+				low[p] = low[v]
+			}
+			if low[v] >= disc[p] {
+				// Pop the block ending with edge (p, v).
+				var blk [][2]int32
+				for len(edgeStack) > 0 {
+					e := edgeStack[len(edgeStack)-1]
+					edgeStack = edgeStack[:len(edgeStack)-1]
+					blk = append(blk, e)
+					if e[0] == p && e[1] == v {
+						break
+					}
+				}
+				out = append(out, blk)
+			}
+		}
+	}
+	return out
+}
+
+// embedBlock runs DMP on one biconnected block (>= 2 edges, hence it
+// contains a cycle) and appends the block's rotation order of every
+// block vertex to rot.
+func embedBlock(blockEdges [][2]int32, rot [][]int32) error {
+	st := newBlockState(blockEdges)
+	if err := st.run(); err != nil {
+		return err
+	}
+	st.appendRotations(rot)
+	return nil
+}
+
+// blockState is the DMP working state for one block.
+type blockState struct {
+	verts []int32           // block vertices (original ids)
+	adj   map[int32][]int32 // block adjacency
+	// embedded darts and vertices
+	inH     map[dart]bool
+	vInH    map[int32]bool
+	faces   [][]dart // cyclic boundary walks
+	edgeCnt int      // embedded undirected edges
+	total   int      // total undirected edges in the block
+}
+
+func newBlockState(blockEdges [][2]int32) *blockState {
+	st := &blockState{
+		adj:  make(map[int32][]int32),
+		inH:  make(map[dart]bool),
+		vInH: make(map[int32]bool),
+	}
+	seen := make(map[int32]bool)
+	for _, e := range blockEdges {
+		st.adj[e[0]] = append(st.adj[e[0]], e[1])
+		st.adj[e[1]] = append(st.adj[e[1]], e[0])
+		for _, v := range e {
+			if !seen[v] {
+				seen[v] = true
+				st.verts = append(st.verts, v)
+			}
+		}
+	}
+	st.total = len(blockEdges)
+	return st
+}
+
+func (st *blockState) run() error {
+	cycle := st.findCycle()
+	st.embedCycle(cycle)
+	for st.edgeCnt < st.total {
+		frags := st.fragments()
+		if len(frags) == 0 {
+			return fmt.Errorf("planarity: internal: edges remain but no fragments")
+		}
+		// Pick the fragment with the fewest admissible faces.
+		best := -1
+		var bestFaces []int
+		for i, f := range frags {
+			adm := st.admissibleFaces(f.attach)
+			if len(adm) == 0 {
+				return fmt.Errorf("%w: fragment with attachments %v fits no face", ErrNotPlanar, f.attach)
+			}
+			if best < 0 || len(adm) < len(bestFaces) {
+				best, bestFaces = i, adm
+				if len(adm) == 1 {
+					break
+				}
+			}
+		}
+		f := frags[best]
+		path := st.fragmentPath(f)
+		st.embedPath(path, bestFaces[0])
+	}
+	return nil
+}
+
+// findCycle returns a cycle in the block (exists: >= 2 edges and
+// biconnected) as a vertex sequence.
+func (st *blockState) findCycle() []int32 {
+	start := st.verts[0]
+	parent := map[int32]int32{start: -1}
+	order := []int32{start}
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, w := range st.adj[v] {
+			if _, ok := parent[w]; !ok {
+				parent[w] = v
+				order = append(order, w)
+			} else if parent[v] != w {
+				// Back/cross edge (v, w): cycle through tree paths.
+				return treeCycle(parent, v, w)
+			}
+		}
+	}
+	panic("planarity: biconnected block without a cycle")
+}
+
+// treeCycle builds the cycle closing edge (v, w) over the BFS tree.
+func treeCycle(parent map[int32]int32, v, w int32) []int32 {
+	anc := map[int32]bool{}
+	for x := v; x >= 0; x = parent[x] {
+		anc[x] = true
+	}
+	var wPath []int32
+	x := w
+	for ; !anc[x]; x = parent[x] {
+		wPath = append(wPath, x)
+	}
+	meet := x
+	var vPath []int32
+	for y := v; y != meet; y = parent[y] {
+		vPath = append(vPath, y)
+	}
+	// Cycle order: meet -> ... -> v (reversed vPath), then the cross edge
+	// to w, then w's climb back toward meet exactly as collected.
+	cycle := append([]int32{meet}, reverseInts(vPath)...)
+	cycle = append(cycle, wPath...)
+	return cycle
+}
+
+func reverseInts(a []int32) []int32 {
+	out := make([]int32, len(a))
+	for i, x := range a {
+		out[len(a)-1-i] = x
+	}
+	return out
+}
+
+func reverseSlice(a []int32) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func (st *blockState) embedCycle(cycle []int32) {
+	l := len(cycle)
+	fwd := make([]dart, l)
+	bwd := make([]dart, l)
+	for i := 0; i < l; i++ {
+		u, v := cycle[i], cycle[(i+1)%l]
+		fwd[i] = dart{u, v}
+		bwd[l-1-i] = dart{v, u}
+		st.inH[dart{u, v}] = true
+		st.inH[dart{v, u}] = true
+		st.vInH[u] = true
+		st.edgeCnt++
+	}
+	st.faces = [][]dart{fwd, bwd}
+}
+
+// fragment is a DMP bridge: either a single unembedded chord, or a
+// component of the block minus the embedded vertices plus its edges into
+// them.
+type fragment struct {
+	// comp is the set of unembedded vertices (nil for chords).
+	comp map[int32]bool
+	// attach are the embedded vertices the fragment touches (sorted-ish).
+	attach []int32
+	// chord is the unembedded edge for chord fragments.
+	chord [2]int32
+	isChd bool
+}
+
+func (st *blockState) fragments() []*fragment {
+	var out []*fragment
+	// Chords: unembedded edges between embedded vertices.
+	for _, u := range st.verts {
+		if !st.vInH[u] {
+			continue
+		}
+		for _, w := range st.adj[u] {
+			if u < w && st.vInH[w] && !st.inH[dart{u, w}] {
+				out = append(out, &fragment{attach: []int32{u, w}, chord: [2]int32{u, w}, isChd: true})
+			}
+		}
+	}
+	// Components of block − V(H).
+	seen := map[int32]bool{}
+	for _, s := range st.verts {
+		if st.vInH[s] || seen[s] {
+			continue
+		}
+		comp := map[int32]bool{s: true}
+		seen[s] = true
+		queue := []int32{s}
+		attach := map[int32]bool{}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range st.adj[v] {
+				if st.vInH[w] {
+					attach[w] = true
+				} else if !seen[w] {
+					seen[w] = true
+					comp[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		f := &fragment{comp: comp}
+		for a := range attach {
+			f.attach = append(f.attach, a)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// admissibleFaces lists the faces whose boundary contains every
+// attachment vertex.
+func (st *blockState) admissibleFaces(attach []int32) []int {
+	var out []int
+	for fi, walk := range st.faces {
+		onFace := map[int32]bool{}
+		for _, d := range walk {
+			onFace[d.u] = true
+		}
+		ok := true
+		for _, a := range attach {
+			if !onFace[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// fragmentPath returns a path between two distinct attachments running
+// through the fragment (for chords, the chord itself).
+func (st *blockState) fragmentPath(f *fragment) []int32 {
+	if f.isChd {
+		return []int32{f.chord[0], f.chord[1]}
+	}
+	// BFS from attachment a1 through the component to any other
+	// attachment (biconnected blocks guarantee >= 2 attachments).
+	a1 := f.attach[0]
+	targets := map[int32]bool{}
+	for _, a := range f.attach[1:] {
+		targets[a] = true
+	}
+	prev := map[int32]int32{a1: -1}
+	queue := []int32{a1}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range st.adj[v] {
+			if _, ok := prev[w]; ok {
+				continue
+			}
+			// From a1 step only into the component; within it, step to
+			// component vertices or to a target attachment.
+			if f.comp[w] {
+				prev[w] = v
+				queue = append(queue, w)
+			} else if targets[w] && v != a1 {
+				prev[w] = v
+				var path []int32
+				for x := w; x >= 0; x = prev[x] {
+					path = append(path, x)
+				}
+				reverseSlice(path)
+				return path
+			}
+		}
+	}
+	panic("planarity: fragment path not found (block not biconnected?)")
+}
+
+// embedPath inserts the path (whose endpoints lie on face fi's boundary
+// and whose interior vertices are new) into face fi, splitting it.
+func (st *blockState) embedPath(path []int32, fi int) {
+	walk := st.faces[fi]
+	a1 := path[0]
+	a2 := path[len(path)-1]
+	// Locate the boundary positions where a1 and a2 start darts. Embedded
+	// subgraphs of a biconnected block stay 2-connected (we add ears), so
+	// each face walk is a simple cycle and the positions are unique.
+	p1, p2 := -1, -1
+	for i, d := range walk {
+		if d.u == a1 {
+			p1 = i
+		}
+		if d.u == a2 {
+			p2 = i
+		}
+	}
+	if p1 < 0 || p2 < 0 {
+		panic("planarity: path endpoints not on the chosen face")
+	}
+	// Arcs: A = walk[p1:p2) from a1 to a2, B = walk[p2:p1) from a2 to a1.
+	arcA := cyclicSlice(walk, p1, p2)
+	arcB := cyclicSlice(walk, p2, p1)
+	fwd := make([]dart, 0, len(path)-1)
+	bwd := make([]dart, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		fwd = append(fwd, dart{u, v})
+		bwd = append(bwd, dart{v, u})
+		st.inH[dart{u, v}] = true
+		st.inH[dart{v, u}] = true
+		st.vInH[u] = true
+		st.vInH[v] = true
+		st.edgeCnt++
+	}
+	reverseDarts(bwd)
+	// Face 1: a1..a2 along arcA, back along the reversed path.
+	face1 := append(append([]dart{}, arcA...), bwd...)
+	// Face 2: a2..a1 along arcB, forward along the path.
+	face2 := append(append([]dart{}, arcB...), fwd...)
+	st.faces[fi] = face1
+	st.faces = append(st.faces, face2)
+}
+
+func reverseDarts(a []dart) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// cyclicSlice returns walk[from:to) cyclically.
+func cyclicSlice(walk []dart, from, to int) []dart {
+	if from <= to {
+		return append([]dart{}, walk[from:to]...)
+	}
+	out := append([]dart{}, walk[from:]...)
+	return append(out, walk[:to]...)
+}
+
+// appendRotations recovers the rotation system from the face walks via
+// σ(next(d)) = rev(d) — next being the face successor permutation — and
+// appends each block vertex's cyclic dart order to rot.
+func (st *blockState) appendRotations(rot [][]int32) {
+	sigma := make(map[dart]dart, 2*st.edgeCnt)
+	for _, walk := range st.faces {
+		l := len(walk)
+		for i, d := range walk {
+			nd := walk[(i+1)%l]
+			sigma[nd] = d.rev()
+		}
+	}
+	// Chain σ per vertex starting from an arbitrary dart.
+	startOf := make(map[int32]dart, len(st.verts))
+	for d := range sigma {
+		if _, ok := startOf[d.u]; !ok {
+			startOf[d.u] = d
+		}
+	}
+	for _, v := range st.verts {
+		d0, ok := startOf[v]
+		if !ok {
+			continue
+		}
+		d := d0
+		for {
+			rot[v] = append(rot[v], d.v)
+			d = sigma[d]
+			if d == d0 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package planarity
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"planarsi/internal/graph"
+)
+
+// stripEmbedding rebuilds g without its rotation system.
+func stripEmbedding(g *graph.Graph) *graph.Graph {
+	return graph.FromEdges(g.N(), g.Edges())
+}
+
+func TestEmbedsPlanarFamilies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(20)},
+		{"cycle", graph.Cycle(12)},
+		{"star", graph.Star(9)},
+		{"tree", graph.RandomTree(40, rng)},
+		{"grid", graph.Grid(7, 9)},
+		{"grid+diagonals", graph.GridWithDiagonals(6, 6)},
+		{"wheel", graph.Wheel(10)},
+		{"k4", graph.Complete(4)},
+		{"bipyramid", graph.Bipyramid(8)},
+		{"cube", graph.Cube()},
+		{"octahedron", graph.Octahedron()},
+		{"dodecahedron", graph.Dodecahedron()},
+		{"icosahedron", graph.Icosahedron()},
+		{"apollonian", graph.Apollonian(60, rng)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := stripEmbedding(tc.g)
+			emb, err := Embed(in)
+			if err != nil {
+				t.Fatalf("Embed: %v", err)
+			}
+			if emb.N() != in.N() || emb.M() != in.M() {
+				t.Fatalf("embedding changed the graph: %v vs %v", emb, in)
+			}
+			for _, e := range in.Edges() {
+				if !emb.HasEdge(e[0], e[1]) {
+					t.Fatalf("edge %v lost", e)
+				}
+			}
+			if err := graph.ValidateEmbedding(emb); err != nil {
+				t.Fatalf("invalid rotation system: %v", err)
+			}
+		})
+	}
+}
+
+func TestEmbedsRandomPlanar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	for trial := 0; trial < 25; trial++ {
+		g := stripEmbedding(graph.RandomPlanar(20+rng.IntN(120), rng.Float64(), rng))
+		emb, err := Embed(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := graph.ValidateEmbedding(emb); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRejectsNonPlanar(t *testing.T) {
+	k33 := graph.NewBuilder(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			k33.AddEdge(int32(i), int32(j))
+		}
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"k5", graph.Complete(5)},
+		{"k6", graph.Complete(6)},
+		{"k33", k33.Build()},
+		{"torus", graph.TorusGrid(4, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Embed(tc.g); err == nil {
+				t.Fatal("non-planar graph accepted")
+			}
+			if IsPlanar(tc.g) {
+				t.Fatal("IsPlanar = true for a non-planar graph")
+			}
+		})
+	}
+}
+
+func TestRejectsSubdividedK5(t *testing.T) {
+	// Subdivide every edge of K5 once: still non-planar (a K5
+	// subdivision), but with m <= 3n-6 so the Euler quick reject does not
+	// fire and DMP itself must detect it.
+	k5 := graph.Complete(5)
+	edges := k5.Edges()
+	n := 5 + len(edges)
+	b := graph.NewBuilder(n)
+	for i, e := range edges {
+		mid := int32(5 + i)
+		b.AddEdge(e[0], mid)
+		b.AddEdge(mid, e[1])
+	}
+	g := b.Build()
+	if g.M() > 3*g.N()-6 {
+		t.Fatal("test setup: quick reject would fire")
+	}
+	if IsPlanar(g) {
+		t.Fatal("subdivided K5 accepted as planar")
+	}
+}
+
+func TestDisconnectedAndCutVertices(t *testing.T) {
+	// Two blocks sharing a cut vertex plus a separate component.
+	b := graph.NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0) // triangle block
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2) // second triangle sharing vertex 2
+	b.AddEdge(5, 6) // bridge in another component; 7 isolated
+	g := b.Build()
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateEmbedding(emb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddingUsableBySection5(t *testing.T) {
+	// End-to-end: embed a raw planar edge list, trace faces, and check
+	// the face count against Euler directly.
+	g := stripEmbedding(graph.Grid(5, 5))
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faces := graph.TraceFaces(emb)
+	want := 2 - g.N() + g.M() // Euler: f = 2 - n + m (connected)
+	if faces.NumFaces() != want {
+		t.Fatalf("face count %d, want %d", faces.NumFaces(), want)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.NewBuilder(0).Build(),
+		graph.NewBuilder(1).Build(),
+		graph.FromEdges(2, [][2]int32{{0, 1}}),
+	} {
+		if _, err := Embed(g); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestBlocksDecomposition(t *testing.T) {
+	// Two triangles sharing a vertex plus a pendant edge: 3 blocks.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	b.AddEdge(0, 5)
+	g := b.Build()
+	bl := blocks(g)
+	if len(bl) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(bl))
+	}
+	edgeTotal := 0
+	for _, blk := range bl {
+		edgeTotal += len(blk)
+	}
+	if edgeTotal != g.M() {
+		t.Fatalf("blocks cover %d edges, want %d", edgeTotal, g.M())
+	}
+}

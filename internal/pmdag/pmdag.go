@@ -1,0 +1,383 @@
+// Package pmdag implements Section 3.3 of the paper: the parallel engine
+// for the bounded-treewidth subgraph isomorphism DP.
+//
+// The decomposition tree is split into layered paths (Lemma 3.2, package
+// treepath). Paths of one layer are independent and processed in
+// parallel; along each path the DP's sequential chain is broken by
+// materializing the directed acyclic *graph of partial matches* (Section
+// 3.3.2): one DAG vertex per partial match of each node on the path, and
+// an edge from a child-node state to a parent-node state whenever the
+// transition rules allow it (for joins, whenever some valid state of the
+// already-solved off-path child makes the pair compatible).
+//
+// Valid partial matches are exactly the DAG vertices reachable from the
+// tagged sources: the valid states of the path's bottom node and every
+// partial match that marks no vertex as matched-in-a-child (C = ∅ states
+// are always realizable from the trivial all-unmatched match). To make
+// the reachability low-depth, shortcuts are inserted into the forest F of
+// no-new-match transitions (Section 3.3.3): F is itself decomposed into
+// layered paths, hub vertices every ~log₂(V) positions receive shortcut
+// edges of exponentially increasing hub distance, and every vertex gets an
+// escape edge to the forest-parent of its path top. Any root-to-valid
+// path then needs O(k log V) hops — at most k matching edges, and O(log V)
+// hops per forest segment — which the breadth-first search's round count
+// certifies empirically (Lemma 3.3).
+package pmdag
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"planarsi/internal/match"
+	"planarsi/internal/par"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/treepath"
+	"planarsi/internal/wd"
+)
+
+// Stats reports the structure of a run for the Figure 5 experiments.
+type Stats struct {
+	// Layers and Paths describe the Lemma 3.2 decomposition.
+	Layers, Paths int
+	// LongestPath is the longest decomposition-tree path (the sequential
+	// chain the engine avoids).
+	LongestPath int
+	// DAGVertices / DAGEdges count partial-match DAG elements across all
+	// paths; ForestEdges of those are no-new-match transitions, and
+	// ShortcutEdges were added by the Section 3.3.3 construction.
+	DAGVertices, DAGEdges, ForestEdges, ShortcutEdges int64
+	// MaxHops is the largest BFS round count over all paths: the depth
+	// of the reachability phase, O(k log n) per Lemma 3.3.
+	MaxHops int
+}
+
+// Config tunes the engine; the zero value reproduces the paper's choices.
+type Config struct {
+	// ShortcutSpacing overrides the hub spacing of the Section 3.3.3
+	// shortcut construction. 0 selects ceil(log2 V), the paper's
+	// work-efficient choice; 1 places a hub at every forest vertex, the
+	// Θ(log n)-work-overhead variant the paper warns about (kept for the
+	// ablation benchmark).
+	ShortcutSpacing int
+}
+
+// Run executes the parallel path-DAG engine with default configuration.
+// It produces exactly the same per-node valid state sets as match.Run
+// (the tests assert this), plain mode only. tr records work and depth.
+func Run(p *match.Problem, tr *wd.Tracker) (*match.Result, *Stats) {
+	return RunConfig(p, Config{}, tr)
+}
+
+// RunConfig is Run with explicit engine configuration.
+func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *Stats) {
+	if p.Separating {
+		panic("pmdag: separating mode is handled by the sequential engine")
+	}
+	eng := match.NewEngine(p)
+	nd := p.ND
+	layers := treepath.LayersParallel(nd.Parent, tr)
+	pd := treepath.Decompose(nd.Parent, layers)
+	stats := &Stats{Layers: pd.NumLayers, Paths: len(pd.Paths)}
+	for _, path := range pd.Paths {
+		if len(path) > stats.LongestPath {
+			stats.LongestPath = len(path)
+		}
+	}
+	var dagV, dagE, forestE, shortcutE atomic.Int64
+	var maxHops atomic.Int64
+	for _, pathIDs := range pd.PathsByLayer() {
+		ids := pathIDs
+		// All paths of a layer are independent: their bottom nodes only
+		// depend on strictly lower layers (Lemma 3.2).
+		par.For(0, len(ids), func(j int) {
+			st := processPath(eng, pd.Paths[ids[j]], cfg, tr)
+			dagV.Add(st.DAGVertices)
+			dagE.Add(st.DAGEdges)
+			forestE.Add(st.ForestEdges)
+			shortcutE.Add(st.ShortcutEdges)
+			for {
+				cur := maxHops.Load()
+				if int64(st.MaxHops) <= cur || maxHops.CompareAndSwap(cur, int64(st.MaxHops)) {
+					break
+				}
+			}
+		})
+		tr.AddPhaseRounds("pmdag-layers", 1)
+	}
+	stats.DAGVertices = dagV.Load()
+	stats.DAGEdges = dagE.Load()
+	stats.ForestEdges = forestE.Load()
+	stats.ShortcutEdges = shortcutE.Load()
+	stats.MaxHops = int(maxHops.Load())
+	return eng, stats
+}
+
+// bottomStates computes the complete valid state set of a path's bottom
+// node directly from its (already solved) children.
+func bottomStates(eng *match.Result, i int32) map[match.State]struct{} {
+	nd := eng.Problem().ND
+	switch nd.Kind[i] {
+	case treedecomp.Leaf:
+		s := match.EmptyState()
+		return map[match.State]struct{}{s: {}}
+	case treedecomp.Introduce:
+		out := make(map[match.State]struct{})
+		for cs := range eng.Sets[nd.Left[i]] {
+			eng.IntroduceSuccessors(i, cs, func(s match.State, _ bool) {
+				out[s] = struct{}{}
+			})
+		}
+		return out
+	case treedecomp.Forget:
+		out := make(map[match.State]struct{})
+		for cs := range eng.Sets[nd.Left[i]] {
+			if s, ok := eng.ForgetSuccessor(i, cs); ok {
+				out[s] = struct{}{}
+			}
+		}
+		return out
+	case treedecomp.Join:
+		out := make(map[match.State]struct{})
+		group := groupBySignature(eng.Sets[nd.Right[i]])
+		for ls := range eng.Sets[nd.Left[i]] {
+			for _, rs := range group[ls.Signature()] {
+				if s, ok := eng.JoinCombine(ls, rs); ok {
+					out[s] = struct{}{}
+				}
+			}
+		}
+		return out
+	}
+	panic("pmdag: unknown node kind")
+}
+
+func groupBySignature(set map[match.State]struct{}) map[match.JoinSignature][]match.State {
+	g := make(map[match.JoinSignature][]match.State, len(set))
+	for s := range set {
+		g[s.Signature()] = append(g[s.Signature()], s)
+	}
+	return g
+}
+
+// pathStats mirrors Stats for a single path.
+type pathStats struct {
+	DAGVertices, DAGEdges, ForestEdges, ShortcutEdges int64
+	MaxHops                                           int
+}
+
+// processPath materializes the partial-match DAG of one decomposition-tree
+// path, adds shortcuts, runs the reachability BFS, and stores the valid
+// sets of every node on the path into eng.Sets.
+func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pathStats {
+	nd := eng.Problem().ND
+	L := len(path)
+	// Universe of states per level; level 0 holds the bottom's valid set.
+	valid0 := bottomStates(eng, path[0])
+	uni := make([][]match.State, L)
+	idx := make([]map[match.State]int32, L)
+	uni[0] = make([]match.State, 0, len(valid0))
+	for s := range valid0 {
+		uni[0] = append(uni[0], s)
+	}
+	offset := make([]int32, L+1)
+	idx[0] = indexStates(uni[0])
+	for j := 1; j < L; j++ {
+		uni[j] = eng.Universe(path[j])
+		idx[j] = indexStates(uni[j])
+	}
+	for j := 0; j < L; j++ {
+		offset[j+1] = offset[j] + int32(len(uni[j]))
+	}
+	V := int(offset[L])
+
+	// Build edges: adjacency as edge lists per source, and the forest
+	// next-pointer (unique no-new-match successor).
+	adj := make([][]int32, V)
+	forestNext := make([]int32, V)
+	for i := range forestNext {
+		forestNext[i] = -1
+	}
+	var edges, forestEdges int64
+	addEdge := func(src, dst int32, forest bool) {
+		adj[src] = append(adj[src], dst)
+		edges++
+		if forest {
+			forestNext[src] = dst
+			forestEdges++
+		}
+	}
+	for j := 1; j < L; j++ {
+		node := path[j]
+		below := path[j-1]
+		lookup := func(s match.State) int32 {
+			li, ok := idx[j][s]
+			if !ok {
+				panic(fmt.Sprintf("pmdag: successor state missing from universe at node %d", node))
+			}
+			return offset[j] + li
+		}
+		switch nd.Kind[node] {
+		case treedecomp.Introduce, treedecomp.Forget:
+			for li, s := range uni[j-1] {
+				src := offset[j-1] + int32(li)
+				if nd.Kind[node] == treedecomp.Introduce {
+					eng.IntroduceSuccessors(node, s, func(t match.State, newMatch bool) {
+						addEdge(src, lookup(t), !newMatch)
+					})
+				} else if t, ok := eng.ForgetSuccessor(node, s); ok {
+					addEdge(src, lookup(t), true)
+				}
+			}
+		case treedecomp.Join:
+			// The off-path child is the sibling of path[j-1].
+			off := nd.Left[node]
+			if off == below {
+				off = nd.Right[node]
+			}
+			group := groupBySignature(eng.Sets[off])
+			for li, s := range uni[j-1] {
+				src := offset[j-1] + int32(li)
+				for _, os := range group[s.Signature()] {
+					if t, ok := eng.JoinCombine(s, os); ok {
+						addEdge(src, lookup(t), os.C == 0)
+					}
+				}
+			}
+		default:
+			panic("pmdag: interior path node cannot be a leaf")
+		}
+	}
+
+	// Shortcut construction (Section 3.3.3) over the forest F.
+	shortcuts := buildShortcuts(forestNext, adj, cfg.ShortcutSpacing)
+
+	// Sources: bottom valid states plus every C = ∅ state anywhere.
+	sources := make([]int32, 0, len(uni[0]))
+	for li := range uni[0] {
+		sources = append(sources, offset[0]+int32(li))
+	}
+	for j := 1; j < L; j++ {
+		for li, s := range uni[j] {
+			if s.C == 0 {
+				sources = append(sources, offset[j]+int32(li))
+			}
+		}
+	}
+
+	// Parallel BFS over the shortcut graph.
+	reached := make([]atomic.Bool, V)
+	frontier := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if reached[s].CompareAndSwap(false, true) {
+			frontier = append(frontier, s)
+		}
+	}
+	hops := 0
+	for len(frontier) > 0 {
+		hops++
+		var next []int32
+		if len(frontier) > 256 {
+			nexts := make([][]int32, len(frontier))
+			par.For(0, len(frontier), func(i int) {
+				v := frontier[i]
+				var local []int32
+				for _, w := range adj[v] {
+					if reached[w].CompareAndSwap(false, true) {
+						local = append(local, w)
+					}
+				}
+				nexts[i] = local
+			})
+			for _, l := range nexts {
+				next = append(next, l...)
+			}
+		} else {
+			for _, v := range frontier {
+				for _, w := range adj[v] {
+					if reached[w].CompareAndSwap(false, true) {
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+		tr.AddPhaseRounds("pmdag-bfs", 1)
+	}
+	tr.AddPhaseWork("pmdag", edges+int64(V))
+
+	// Store valid sets for every node of the path.
+	for j := 0; j < L; j++ {
+		set := make(map[match.State]struct{})
+		for li, s := range uni[j] {
+			if reached[offset[j]+int32(li)].Load() {
+				set[s] = struct{}{}
+			}
+		}
+		eng.Sets[path[j]] = set
+	}
+	return pathStats{
+		DAGVertices:   int64(V),
+		DAGEdges:      edges,
+		ForestEdges:   forestEdges,
+		ShortcutEdges: shortcuts,
+		MaxHops:       hops,
+	}
+}
+
+func indexStates(states []match.State) map[match.State]int32 {
+	m := make(map[match.State]int32, len(states))
+	for i, s := range states {
+		m[s] = int32(i)
+	}
+	return m
+}
+
+// buildShortcuts decomposes the no-new-match forest into layered paths
+// (Lemma 3.2 again), places hubs every ~log₂(V) positions with shortcut
+// edges of exponentially increasing hub distance, and adds an escape edge
+// from every vertex to the forest-parent of its path's top (the paper's
+// "shortcut from every vertex to the first vertex in a lower layer").
+// Shortcut edges are appended to adj; the count is returned. The added
+// edge count is O(V): V/log V hubs with log V shortcuts each, plus one
+// escape edge per vertex.
+func buildShortcuts(forestNext []int32, adj [][]int32, spacing int) int64 {
+	V := len(forestNext)
+	if V == 0 {
+		return 0
+	}
+	layers := treepath.LayersSequential(forestNext)
+	fpd := treepath.Decompose(forestNext, layers)
+	if spacing <= 0 {
+		spacing = int(math.Ceil(math.Log2(float64(V + 1))))
+	}
+	if spacing < 1 {
+		spacing = 1
+	}
+	var count int64
+	for _, fp := range fpd.Paths {
+		l := len(fp)
+		// Hub-to-hub exponential shortcuts.
+		numHubs := (l + spacing - 1) / spacing
+		for h := 0; h < numHubs; h++ {
+			src := fp[h*spacing]
+			for step := 1; h+step < numHubs; step *= 2 {
+				dst := fp[(h+step)*spacing]
+				adj[src] = append(adj[src], dst)
+				count++
+			}
+		}
+		// Escape edges: jump past the rest of this path in one hop.
+		top := fp[l-1]
+		esc := forestNext[top]
+		if esc >= 0 {
+			for _, v := range fp {
+				if v != top { // top already has the forest edge itself
+					adj[v] = append(adj[v], esc)
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,295 @@
+package treedecomp
+
+// Balance implements the height-reduction transform the paper's Section
+// 3.3 cites as the alternative it *avoids* (Bodlaender-Hagerup [10]):
+// any tree decomposition of width w can be rebalanced into one of height
+// O(log n) and width at most 3w+2, after which the DP of Section 3.2 can
+// be parallelized level by level. The catch — and the reason the paper
+// builds the path-DAG engine instead — is that tripling the width raises
+// the DP's (τ+3)^{3k+1} work by a factor of up to Ω(9^k). The Ablation A5
+// experiment measures exactly that trade.
+//
+// The construction is the classic two-boundary recursion: a sub-forest S
+// of the decomposition tree with at most two designated boundary nodes is
+// split at a node c chosen on the path between the boundaries so that
+// the boundary-containing components halve; the new root bag is the union
+// of X_c and the (at most two) boundary bags — at most 3 original bags,
+// hence width ≤ 3(w+1)-1 = 3w+2. Components hanging off c inherit a
+// single boundary (their attachment), so a component that did not halve
+// at this level halves at the next, giving height ≤ 2·log2 n + O(1).
+
+// Balance returns a rebalanced tree decomposition of g-independent
+// structure: height O(log n), width at most 3·Width(d)+2, valid for every
+// graph d is valid for.
+func Balance(d *Decomposition) *Decomposition {
+	n := d.NumNodes()
+	if n == 0 {
+		return &Decomposition{Bags: [][]int32{{}}, Parent: []int32{-1}, Root: 0}
+	}
+	// Undirected adjacency of the decomposition tree.
+	adj := make([][]int32, n)
+	for i, p := range d.Parent {
+		if p >= 0 {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], int32(i))
+		}
+	}
+	b := &balancer{src: d, adj: adj}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	root := b.build(all, nil)
+	return &Decomposition{Bags: b.bags, Parent: b.parent, Root: root}
+}
+
+type balancer struct {
+	src    *Decomposition
+	adj    [][]int32
+	bags   [][]int32
+	parent []int32
+}
+
+func (b *balancer) add(bag []int32, parent int32) int32 {
+	id := int32(len(b.bags))
+	b.bags = append(b.bags, bag)
+	b.parent = append(b.parent, parent)
+	return id
+}
+
+// build recursively balances the sub-forest S (a connected subtree of the
+// decomposition tree) with boundary nodes bd (|bd| <= 2) and returns the
+// id of the new root, whose bag contains the union of the boundary bags.
+func (b *balancer) build(S []int32, bd []int32) int32 {
+	if len(S) <= 2 {
+		var bag []int32
+		for _, t := range S {
+			bag = unionSorted(bag, b.src.Bags[t])
+		}
+		return b.add(bag, -1)
+	}
+	inS := make(map[int32]bool, len(S))
+	for _, t := range S {
+		inS[t] = true
+	}
+	c := b.splitNode(S, inS, bd)
+
+	// Root bag: X_c plus the boundary bags (<= 3 original bags).
+	bag := append([]int32(nil), b.src.Bags[c]...)
+	for _, t := range bd {
+		bag = unionSorted(bag, b.src.Bags[t])
+	}
+	root := b.add(bag, -1)
+
+	// Components of S - c; each gets boundary = (bd ∩ component) plus the
+	// neighbor of c inside it.
+	delete(inS, c)
+	seen := make(map[int32]bool, len(S))
+	for _, attach := range b.adj[c] {
+		if !inS[attach] || seen[attach] {
+			continue
+		}
+		comp := b.component(attach, inS, seen)
+		sub := []int32{attach}
+		for _, t := range bd {
+			if t != attach && containsNode(comp, t) {
+				sub = append(sub, t)
+			}
+		}
+		child := b.build(comp, sub)
+		b.parent[child] = root
+	}
+	return root
+}
+
+// component collects the connected component of start in the forest
+// restricted to inS, marking nodes in seen.
+func (b *balancer) component(start int32, inS, seen map[int32]bool) []int32 {
+	comp := []int32{start}
+	seen[start] = true
+	for i := 0; i < len(comp); i++ {
+		for _, w := range b.adj[comp[i]] {
+			if inS[w] && !seen[w] {
+				seen[w] = true
+				comp = append(comp, w)
+			}
+		}
+	}
+	return comp
+}
+
+func containsNode(comp []int32, t int32) bool {
+	for _, x := range comp {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// splitNode picks the split node: with fewer than two boundary nodes, the
+// centroid of S (every component of S-c has size <= |S|/2); with two, the
+// node on the boundary path that keeps both boundary-side components at
+// size <= |S|/2 (hanging components shrink the next level, when they
+// recurse with a single boundary).
+func (b *balancer) splitNode(S []int32, inS map[int32]bool, bd []int32) int32 {
+	if len(bd) < 2 {
+		return b.centroid(S, inS)
+	}
+	path := b.treePath(bd[0], bd[1], inS)
+	// Weight hanging below each path node (off-path subtree sizes + 1).
+	onPath := make(map[int32]bool, len(path))
+	for _, t := range path {
+		onPath[t] = true
+	}
+	weight := make(map[int32]int, len(path))
+	seen := make(map[int32]bool, len(S))
+	for _, t := range path {
+		seen[t] = true
+	}
+	for _, t := range path {
+		w := 1
+		for _, nb := range b.adj[t] {
+			if inS[nb] && !onPath[nb] && !seen[nb] {
+				w += len(b.component(nb, inS, seen))
+			}
+		}
+		weight[t] = w
+	}
+	// Prefix weights along the path; choose the first node where the
+	// strict prefix reaches half, so both path sides are <= |S|/2.
+	total := len(S)
+	prefix := 0
+	for _, t := range path {
+		if prefix+weight[t] >= (total+1)/2 {
+			return t
+		}
+		prefix += weight[t]
+	}
+	return path[len(path)-1]
+}
+
+// centroid returns a node whose removal leaves components of size at most
+// |S|/2 (computed by the standard subtree-size walk from an arbitrary
+// root of the subtree).
+func (b *balancer) centroid(S []int32, inS map[int32]bool) int32 {
+	root := S[0]
+	parent := make(map[int32]int32, len(S))
+	order := make([]int32, 0, len(S))
+	parent[root] = -1
+	order = append(order, root)
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, w := range b.adj[v] {
+			if inS[w] {
+				if _, ok := parent[w]; !ok {
+					parent[w] = v
+					order = append(order, w)
+				}
+			}
+		}
+	}
+	size := make(map[int32]int, len(S))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		size[v]++
+		if p := parent[v]; p >= 0 {
+			size[p] += size[v]
+		}
+	}
+	total := len(S)
+	v := root
+	for {
+		next := int32(-1)
+		for _, w := range b.adj[v] {
+			if inS[w] && parent[w] == v && size[w] > total/2 {
+				next = w
+				break
+			}
+		}
+		if next < 0 {
+			return v
+		}
+		v = next
+	}
+}
+
+// treePath returns the nodes on the unique path from a to b within the
+// subtree inS (inclusive).
+func (b *balancer) treePath(a, bb int32, inS map[int32]bool) []int32 {
+	if a == bb {
+		return []int32{a}
+	}
+	prev := map[int32]int32{a: -1}
+	queue := []int32{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == bb {
+			break
+		}
+		for _, w := range b.adj[v] {
+			if inS[w] {
+				if _, ok := prev[w]; !ok {
+					prev[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	var path []int32
+	for v := bb; v >= 0; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse to a..b order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// unionSorted merges two sorted unique slices into a sorted unique slice.
+func unionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+func (d *Decomposition) Height() int {
+	depth := make([]int32, d.NumNodes())
+	// Parents appear before children is not guaranteed; iterate to fixpoint
+	// via topological order from the root using children lists.
+	ch := d.Children()
+	h := 0
+	stack := []int32{d.Root}
+	depth[d.Root] = 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if int(depth[v]) > h {
+			h = int(depth[v])
+		}
+		for _, c := range ch[v] {
+			depth[c] = depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	return h
+}

@@ -1,0 +1,308 @@
+// Package treepath implements Lemma 3.2 and Appendix A of the paper:
+// decomposing a rooted tree into O(log n) layers of vertex-disjoint paths,
+// with the layer numbers computed either sequentially or by parallel tree
+// contraction over the closed family of unary functions {f≠i, g=i} the
+// appendix exhibits. It also provides pointer-jumping list ranking, which
+// the shortcut construction of Section 3.3.3 uses to position vertices
+// within forest paths.
+//
+// The layer number L of a node is 0 at leaves; an interior node takes the
+// maximum layer among its children if that maximum is unique, and the
+// maximum plus one otherwise. Nodes of equal layer form vertex-disjoint
+// paths (no node has two children of its own layer), and the layer count
+// is at most ⌊log₂ n⌋ + 1 because a layer increment requires two children
+// of equal maximal layer, halving the population per layer.
+package treepath
+
+import (
+	"planarsi/internal/wd"
+)
+
+// Children builds children lists from a parent array (root has parent -1;
+// forests with several roots are allowed).
+func Children(parent []int32) [][]int32 {
+	ch := make([][]int32, len(parent))
+	for v, p := range parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], int32(v))
+		}
+	}
+	return ch
+}
+
+// LayersSequential computes layer numbers with a post-order traversal.
+func LayersSequential(parent []int32) []int32 {
+	n := len(parent)
+	layers := make([]int32, n)
+	ch := Children(parent)
+	// Iterative post-order over every root.
+	state := make([]int32, n) // next child index to visit
+	for r := 0; r < n; r++ {
+		if parent[r] >= 0 {
+			continue
+		}
+		stack := []int32{int32(r)}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if int(state[v]) < len(ch[v]) {
+				c := ch[v][state[v]]
+				state[v]++
+				stack = append(stack, c)
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			var lmax int32 = -1
+			unique := true
+			for _, c := range ch[v] {
+				switch {
+				case layers[c] > lmax:
+					lmax, unique = layers[c], true
+				case layers[c] == lmax:
+					unique = false
+				}
+			}
+			if lmax < 0 {
+				layers[v] = 0
+			} else if unique {
+				layers[v] = lmax
+			} else {
+				layers[v] = lmax + 1
+			}
+		}
+	}
+	return layers
+}
+
+// ---- Appendix A: the closed unary function family ----
+//
+// The appendix proposes the family {f≠i, g=i} with
+//
+//	f≠i(x) = i+1 if x == i, max(i, x) otherwise
+//	g=i(x) = i+1 if i >= x, x otherwise
+//
+// and claims it is closed under composition. As printed, it is not:
+// (f≠2 ∘ f≠1)(1) = f≠2(2) = 3, but the appendix's table says the
+// composite equals f≠max(2,1) = f≠2, which maps 1 to 2. The issue arises
+// whenever the inner function's bump output collides with the outer
+// function's bump point (i = j + 1).
+//
+// The actual closure of {f≠i, g=i} under composition is the three-
+// parameter family
+//
+//	φ(A,s,t)(x) = A    if x < s
+//	            = t+1  if s <= x <= t
+//	            = x    if x > t
+//
+// with A <= t+1 (identity is φ(0,0,-1), f≠i is φ(i,i,i), and g=i is
+// φ(i+1,0,i)). Composition stays O(1), so Lemma 3.2's bounds are
+// unaffected; EXPERIMENTS.md records the deviation, and the tests verify
+// closure exhaustively over small parameter ranges.
+type uFn struct {
+	a, s, t int32
+}
+
+var identityFn = uFn{a: 0, s: 0, t: -1}
+
+// fNeq is the appendix's f≠i: "running maximum i, currently unique".
+func fNeq(i int32) uFn { return uFn{a: i, s: i, t: i} }
+
+// gEq is the appendix's g=i: "running maximum i, currently tied".
+func gEq(i int32) uFn { return uFn{a: i + 1, s: 0, t: i} }
+
+// apply evaluates the function at x.
+func (h uFn) apply(x int32) int32 {
+	switch {
+	case x > h.t:
+		return x
+	case x >= h.s:
+		return h.t + 1
+	default:
+		return h.a
+	}
+}
+
+// compose returns a ∘ b (apply b first, then a). The derivation of the
+// three cases is in the comment above; each preserves A <= t+1.
+func compose(a, b uFn) uFn {
+	switch {
+	case b.t >= a.t:
+		// a is identity above b's plateau: only b's low constant moves.
+		return uFn{a: a.apply(b.a), s: b.s, t: b.t}
+	case a.s <= b.t+1:
+		// b's plateau lands inside a's bump region: plateaus merge.
+		return uFn{a: a.apply(b.a), s: b.s, t: a.t}
+	default:
+		// b's outputs below a.s all collapse onto a's low constant
+		// (b.a <= b.t+1 < a.s guarantees a.apply(b.a) == a.a).
+		return uFn{a: a.a, s: a.s, t: a.t}
+	}
+}
+
+// aggregate tracks the (max, unique) state over the child layer values a
+// node has received so far.
+type aggregate struct {
+	lmax   int32 // -1 when nothing arrived
+	unique bool
+}
+
+func (a *aggregate) add(x int32) {
+	switch {
+	case x > a.lmax:
+		a.lmax, a.unique = x, true
+	case x == a.lmax:
+		a.unique = false
+	}
+}
+
+// value finishes the aggregate into the node's layer number.
+func (a *aggregate) value() int32 {
+	if a.lmax < 0 {
+		return 0 // leaf
+	}
+	if a.unique {
+		return a.lmax
+	}
+	return a.lmax + 1
+}
+
+// projection turns the aggregate over all-but-one children into the unary
+// function of the missing child's value: L(l1..lk-1, x) = f≠m(x) when the
+// received maximum m is unique, g=m(x) otherwise (Appendix A).
+func (a *aggregate) projection() uFn {
+	if a.lmax < 0 {
+		return identityFn // unary node: L(x) = x
+	}
+	if a.unique {
+		return fNeq(a.lmax)
+	}
+	return gEq(a.lmax)
+}
+
+// LayersParallel computes the same layer numbers as LayersSequential via
+// randomized tree contraction (Miller-Reif rake and compress), evaluating
+// the expression tree of L over the appendix's function family. The round
+// count — O(log n) in expectation — is recorded on tr as depth.
+func LayersParallel(parent []int32, tr *wd.Tracker) []int32 {
+	n := len(parent)
+	layers := make([]int32, n)
+	if n == 0 {
+		return layers
+	}
+	ch := Children(parent)
+	unresolved := make([]int32, n) // children not yet delivered
+	agg := make([]aggregate, n)
+	fun := make([]uFn, n) // edge function toward the current parent
+	up := make([]int32, n)
+	resolved := make([]bool, n)
+	spliced := make([]bool, n)
+	for v := 0; v < n; v++ {
+		unresolved[v] = int32(len(ch[v]))
+		agg[v] = aggregate{lmax: -1}
+		fun[v] = identityFn
+		up[v] = parent[v]
+	}
+	// Splice events for the expansion phase: when w is spliced out, its
+	// layer is proj(fBelow(layer of its unresolved child)); replaying the
+	// events in reverse order resolves all spliced nodes.
+	type spliceEvent struct {
+		w, c   int32
+		fBelow uFn
+		proj   uFn
+	}
+	var events []spliceEvent
+	pending := n
+	rnd := uint64(0x9e3779b97f4a7c15)
+	round := 0
+	for pending > 0 {
+		round++
+		// Rake: resolve nodes with no unresolved children.
+		var raked []int32
+		for v := 0; v < n; v++ {
+			if !resolved[v] && !spliced[v] && unresolved[v] == 0 {
+				raked = append(raked, int32(v))
+			}
+		}
+		for _, v := range raked {
+			layers[v] = agg[v].value()
+			resolved[v] = true
+			pending--
+			if p := up[v]; p >= 0 {
+				agg[p].add(fun[v].apply(layers[v]))
+				unresolved[p]--
+			}
+		}
+		// Compress: splice unary-pending nodes with coin flips so no two
+		// adjacent chain nodes splice in the same round.
+		live := make([]int32, n) // unresolved child if exactly one, else -1
+		for v := range live {
+			live[v] = -1
+		}
+		cnt := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if resolved[v] || spliced[v] {
+				continue
+			}
+			if p := up[v]; p >= 0 {
+				cnt[p]++
+				if cnt[p] == 1 {
+					live[p] = int32(v)
+				} else {
+					live[p] = -1
+				}
+			}
+		}
+		coin := func(v int32) bool {
+			x := rnd + uint64(v)*0xbf58476d1ce4e5b9 + uint64(round)*0x94d049bb133111eb
+			x ^= x >> 31
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			return x&1 == 0
+		}
+		// Decide all splices from a snapshot before mutating anything:
+		// deciding and mutating in one pass would let a node observe its
+		// chain-child as already spliced and splice adjacent to it, which
+		// orphans the child's delivery and stalls the contraction.
+		elig := make([]bool, n)
+		for v := 0; v < n; v++ {
+			elig[v] = !resolved[v] && !spliced[v] && unresolved[v] == 1 && live[v] >= 0 && up[v] >= 0
+		}
+		splice := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !elig[v] || !coin(int32(v)) {
+				continue
+			}
+			// Defer to a chain-child that also flipped heads, so no two
+			// adjacent chain nodes splice in the same round.
+			c := live[v]
+			cChain := elig[c]
+			if !cChain || !coin(c) {
+				splice[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !splice[v] {
+				continue
+			}
+			w := int32(v)
+			c := live[w]
+			// Splice w: c now reports to up[w] through w's projection.
+			events = append(events, spliceEvent{w: w, c: c, fBelow: fun[c], proj: agg[w].projection()})
+			fun[c] = compose(compose(fun[w], agg[w].projection()), fun[c])
+			up[c] = up[w]
+			spliced[w] = true
+			pending--
+		}
+		tr.AddPhaseRounds("treecontract", 1)
+		tr.AddPhaseWork("treecontract", int64(n))
+	}
+	// Expansion: replay splice events in reverse. When the event for w
+	// is processed, its child c has already been resolved (either during
+	// contraction or by a later event processed earlier in this loop),
+	// so layer[w] = proj(fBelow(layer[c])).
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		layers[e.w] = e.proj.apply(e.fBelow.apply(layers[e.c]))
+	}
+	tr.AddPhaseRounds("treecontract", 1)
+	return layers
+}

@@ -1,0 +1,346 @@
+package treepath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"planarsi/internal/wd"
+)
+
+// randomTreeParents builds a random rooted tree on n nodes (parent[0]=-1).
+func randomTreeParents(n int, rng *rand.Rand) []int32 {
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(rng.IntN(v))
+	}
+	return parent
+}
+
+// pathParents builds a path 0 <- 1 <- ... <- n-1 rooted at 0.
+func pathParents(n int) []int32 {
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(v - 1)
+	}
+	return parent
+}
+
+// completeBinaryParents builds a complete binary tree.
+func completeBinaryParents(n int) []int32 {
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32((v - 1) / 2)
+	}
+	return parent
+}
+
+func TestLayersSequentialPath(t *testing.T) {
+	layers := LayersSequential(pathParents(10))
+	for v, l := range layers {
+		if l != 0 {
+			t.Fatalf("path node %d layer=%d want 0", v, l)
+		}
+	}
+}
+
+func TestLayersSequentialCompleteBinary(t *testing.T) {
+	// A complete binary tree of height h has root layer h: every internal
+	// node has two children of equal layer.
+	n := 1<<6 - 1
+	layers := LayersSequential(completeBinaryParents(n))
+	if layers[0] != 5 {
+		t.Fatalf("root layer=%d want 5", layers[0])
+	}
+	for v := n / 2; v < n; v++ {
+		if layers[v] != 0 {
+			t.Fatalf("leaf %d layer=%d", v, layers[v])
+		}
+	}
+}
+
+func TestLayerCountLogBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(3000)
+		parent := randomTreeParents(n, rng)
+		layers := LayersSequential(parent)
+		maxL := int32(0)
+		for _, l := range layers {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		bound := int32(math.Log2(float64(n))) + 1
+		if maxL+1 > bound {
+			t.Fatalf("n=%d: %d layers exceed log bound %d", n, maxL+1, bound)
+		}
+	}
+}
+
+func TestLayersParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	shapes := [][]int32{
+		pathParents(1),
+		pathParents(2),
+		pathParents(50),
+		completeBinaryParents(63),
+		randomTreeParents(500, rng),
+	}
+	for trial := 0; trial < 40; trial++ {
+		shapes = append(shapes, randomTreeParents(2+rng.IntN(300), rng))
+	}
+	for i, parent := range shapes {
+		want := LayersSequential(parent)
+		got := LayersParallel(parent, nil)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("shape %d: node %d: parallel=%d sequential=%d", i, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestLayersParallelRoundsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	tr := wd.NewTracker()
+	n := 20000
+	parent := randomTreeParents(n, rng)
+	LayersParallel(parent, tr)
+	rounds := tr.PhaseRounds("treecontract")
+	// Expect O(log n); allow a generous constant.
+	if rounds > 30*int64(math.Log2(float64(n))) {
+		t.Fatalf("tree contraction took %d rounds for n=%d", rounds, n)
+	}
+}
+
+func TestLayersParallelForest(t *testing.T) {
+	// Forest: two roots.
+	parent := []int32{-1, 0, 0, -1, 3, 3, 4}
+	want := LayersSequential(parent)
+	got := LayersParallel(parent, nil)
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("forest node %d: parallel=%d sequential=%d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFunctionFamilyClosure(t *testing.T) {
+	// compose(a, b).apply(x) must equal a.apply(b.apply(x)) for all small
+	// combinations: verifies the Appendix A composition table.
+	var fns []uFn
+	fns = append(fns, identityFn)
+	for i := int32(0); i < 5; i++ {
+		fns = append(fns, fNeq(i), gEq(i))
+	}
+	// Include two-deep composites so closure is checked beyond the base
+	// generators (this is where the paper's printed table fails).
+	base := append([]uFn(nil), fns...)
+	for _, a := range base {
+		for _, b := range base {
+			fns = append(fns, compose(a, b))
+		}
+	}
+	for _, a := range fns {
+		for _, b := range fns {
+			c := compose(a, b)
+			for x := int32(0); x < 8; x++ {
+				want := a.apply(b.apply(x))
+				got := c.apply(x)
+				if want != got {
+					t.Fatalf("compose(%v,%v)(%d) = %d want %d", a, b, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(500)
+		parent := randomTreeParents(n, rng)
+		layers := LayersSequential(parent)
+		pd := Decompose(parent, layers)
+		// Every node in exactly one path.
+		seen := make([]int, n)
+		for p, path := range pd.Paths {
+			if len(path) == 0 {
+				t.Fatal("empty path")
+			}
+			for pos, v := range path {
+				seen[v]++
+				if pd.PathOf[v] != int32(p) || pd.PosInPath[v] != int32(pos) {
+					t.Fatal("PathOf/PosInPath inconsistent")
+				}
+				if layers[v] != pd.LayerOfPath[p] {
+					t.Fatal("path mixes layers")
+				}
+			}
+			// Consecutive nodes are parent-linked bottom-up.
+			for i := 0; i+1 < len(path); i++ {
+				if parent[path[i]] != path[i+1] {
+					t.Fatal("path not parent-linked")
+				}
+			}
+		}
+		for v, s := range seen {
+			if s != 1 {
+				t.Fatalf("node %d in %d paths", v, s)
+			}
+		}
+		// Lemma 3.2 property: children of a node never sit in a larger
+		// layer.
+		for v := 0; v < n; v++ {
+			if p := parent[v]; p >= 0 && layers[v] > layers[p] {
+				t.Fatal("child layer exceeds parent layer")
+			}
+		}
+	}
+}
+
+func TestPathsByLayerSchedule(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	parent := randomTreeParents(300, rng)
+	layers := LayersSequential(parent)
+	pd := Decompose(parent, layers)
+	byLayer := pd.PathsByLayer()
+	count := 0
+	for l, paths := range byLayer {
+		for _, p := range paths {
+			if pd.LayerOfPath[p] != int32(l) {
+				t.Fatal("path in wrong layer bucket")
+			}
+			count++
+		}
+	}
+	if count != len(pd.Paths) {
+		t.Fatal("PathsByLayer lost paths")
+	}
+}
+
+func TestListRank(t *testing.T) {
+	// A single list 0 -> 1 -> ... -> 9.
+	n := 10
+	next := make([]int32, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = int32(i + 1)
+	}
+	next[n-1] = -1
+	rank := ListRank(next, nil)
+	for i := 0; i < n; i++ {
+		if rank[i] != int32(n-1-i) {
+			t.Fatalf("rank[%d]=%d want %d", i, rank[i], n-1-i)
+		}
+	}
+}
+
+func TestListRankMultipleLists(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	// Build several disjoint lists with random interleaved ids.
+	n := 500
+	perm := rng.Perm(n)
+	next := make([]int32, n)
+	want := make([]int32, n)
+	idx := 0
+	for idx < n {
+		length := 1 + rng.IntN(40)
+		if idx+length > n {
+			length = n - idx
+		}
+		for i := 0; i < length; i++ {
+			v := perm[idx+i]
+			if i == length-1 {
+				next[v] = -1
+			} else {
+				next[v] = int32(perm[idx+i+1])
+			}
+			want[v] = int32(length - 1 - i)
+		}
+		idx += length
+	}
+	got := ListRank(next, nil)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("rank[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestListRankRounds(t *testing.T) {
+	tr := wd.NewTracker()
+	n := 4096
+	next := make([]int32, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = int32(i + 1)
+	}
+	next[n-1] = -1
+	ListRank(next, tr)
+	if r := tr.PhaseRounds("listrank"); r > 14 {
+		t.Fatalf("list ranking took %d rounds for n=%d, want ~log n", r, n)
+	}
+}
+
+// Regression: the randomized compress phase once spliced two adjacent
+// chain nodes in one round (the second observing the first's mutation),
+// orphaning a delivery and hanging the contraction. Stress the parallel
+// layers on shapes that maximize chains: long paths, brooms, and many
+// random trees.
+func TestLayersParallelStress(t *testing.T) {
+	shapes := [][]int32{
+		chainParent(500),
+		broomParent(200, 50),
+	}
+	rng := rand.New(rand.NewPCG(71, 72))
+	for trial := 0; trial < 60; trial++ {
+		shapes = append(shapes, randomParent(5+rng.IntN(300), rng))
+	}
+	for i, parent := range shapes {
+		done := make(chan []int32, 1)
+		go func() { done <- LayersParallel(parent, nil) }()
+		select {
+		case got := <-done:
+			want := LayersSequential(parent)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("shape %d: layer mismatch at %d: %d vs %d", i, v, got[v], want[v])
+				}
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shape %d: contraction hung", i)
+		}
+	}
+}
+
+// chainParent builds a path rooted at 0.
+func chainParent(n int) []int32 {
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(v - 1)
+	}
+	return parent
+}
+
+// broomParent builds a chain with a fan of leaves at the end.
+func broomParent(chain, leaves int) []int32 {
+	parent := chainParent(chain + leaves)
+	for l := 0; l < leaves; l++ {
+		parent[chain+l] = int32(chain - 1)
+	}
+	return parent
+}
+
+func randomParent(n int, rng *rand.Rand) []int32 {
+	parent := make([]int32, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = int32(rng.IntN(v))
+	}
+	return parent
+}

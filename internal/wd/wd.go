@@ -1,0 +1,165 @@
+// Package wd provides work/depth instrumentation for the PRAM-style
+// algorithms in this repository.
+//
+// The paper states its bounds in the CREW PRAM work/depth model: work is
+// the total number of operations performed by all processors, and depth is
+// the length of the critical path. Wall-clock time on a fixed machine mixes
+// the two together (Brent: T_P = O(W/P + D)), so every algorithm in this
+// repository reports its empirical work (operation counts) and depth
+// (synchronous round counts) through a Tracker. Benchmarks read these
+// counters to verify the shapes the paper claims, e.g. near-linear work in
+// n and poly-logarithmic depth.
+//
+// A nil *Tracker is valid everywhere and makes all methods no-ops, so
+// instrumentation can be switched off without branching at call sites.
+package wd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Tracker accumulates work and depth counters, optionally split by phase.
+// All methods are safe for concurrent use and are no-ops on a nil receiver.
+type Tracker struct {
+	work   atomic.Int64
+	rounds atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]*phase
+}
+
+type phase struct {
+	work   atomic.Int64
+	rounds atomic.Int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{phases: make(map[string]*phase)}
+}
+
+// AddWork adds n units of work to the global counter.
+func (t *Tracker) AddWork(n int64) {
+	if t == nil {
+		return
+	}
+	t.work.Add(n)
+}
+
+// AddRounds adds n synchronous rounds to the global depth counter.
+// Rounds model PRAM time steps: a parallel BFS adds one round per level,
+// pointer jumping adds one round per doubling step, and so on.
+func (t *Tracker) AddRounds(n int64) {
+	if t == nil {
+		return
+	}
+	t.rounds.Add(n)
+}
+
+func (t *Tracker) phaseFor(name string) *phase {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.phases[name]
+	if !ok {
+		p = &phase{}
+		t.phases[name] = p
+	}
+	return p
+}
+
+// AddPhaseWork adds work both globally and to the named phase.
+func (t *Tracker) AddPhaseWork(name string, n int64) {
+	if t == nil {
+		return
+	}
+	t.work.Add(n)
+	t.phaseFor(name).work.Add(n)
+}
+
+// AddPhaseRounds adds rounds both globally and to the named phase.
+func (t *Tracker) AddPhaseRounds(name string, n int64) {
+	if t == nil {
+		return
+	}
+	t.rounds.Add(n)
+	t.phaseFor(name).rounds.Add(n)
+}
+
+// Work returns the total work recorded so far.
+func (t *Tracker) Work() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.work.Load()
+}
+
+// Rounds returns the total rounds recorded so far.
+func (t *Tracker) Rounds() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.rounds.Load()
+}
+
+// PhaseWork returns the work recorded for the named phase.
+func (t *Tracker) PhaseWork(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.phases[name]; ok {
+		return p.work.Load()
+	}
+	return 0
+}
+
+// PhaseRounds returns the rounds recorded for the named phase.
+func (t *Tracker) PhaseRounds(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.phases[name]; ok {
+		return p.rounds.Load()
+	}
+	return 0
+}
+
+// Reset clears all counters.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.work.Store(0)
+	t.rounds.Store(0)
+	t.mu.Lock()
+	t.phases = make(map[string]*phase)
+	t.mu.Unlock()
+}
+
+// String renders the counters, phases sorted by name, for reports.
+func (t *Tracker) String() string {
+	if t == nil {
+		return "wd: off"
+	}
+	t.mu.Lock()
+	names := make([]string, 0, len(t.phases))
+	for name := range t.phases {
+		names = append(names, name)
+	}
+	t.mu.Unlock()
+	sort.Strings(names)
+	s := fmt.Sprintf("work=%d rounds=%d", t.work.Load(), t.rounds.Load())
+	for _, name := range names {
+		t.mu.Lock()
+		p := t.phases[name]
+		t.mu.Unlock()
+		s += fmt.Sprintf(" %s[w=%d r=%d]", name, p.work.Load(), p.rounds.Load())
+	}
+	return s
+}

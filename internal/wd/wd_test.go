@@ -1,0 +1,83 @@
+package wd
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.AddWork(5)
+	tr.AddRounds(2)
+	tr.AddPhaseWork("x", 1)
+	tr.AddPhaseRounds("x", 1)
+	tr.Reset()
+	if tr.Work() != 0 || tr.Rounds() != 0 || tr.PhaseWork("x") != 0 || tr.PhaseRounds("x") != 0 {
+		t.Fatal("nil tracker must report zeros")
+	}
+	if tr.String() != "wd: off" {
+		t.Fatalf("nil String = %q", tr.String())
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	tr := NewTracker()
+	tr.AddWork(3)
+	tr.AddPhaseWork("dp", 7)
+	tr.AddRounds(1)
+	tr.AddPhaseRounds("dp", 2)
+	if tr.Work() != 10 {
+		t.Fatalf("work = %d, want 10", tr.Work())
+	}
+	if tr.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", tr.Rounds())
+	}
+	if tr.PhaseWork("dp") != 7 || tr.PhaseRounds("dp") != 2 {
+		t.Fatalf("phase counters wrong: %d/%d", tr.PhaseWork("dp"), tr.PhaseRounds("dp"))
+	}
+	if tr.PhaseWork("absent") != 0 {
+		t.Fatal("absent phase must be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracker()
+	tr.AddPhaseWork("a", 5)
+	tr.Reset()
+	if tr.Work() != 0 || tr.PhaseWork("a") != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestStringListsPhasesSorted(t *testing.T) {
+	tr := NewTracker()
+	tr.AddPhaseWork("zeta", 1)
+	tr.AddPhaseWork("alpha", 1)
+	s := tr.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "zeta") {
+		t.Fatalf("phases missing from %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatalf("phases not sorted in %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.AddPhaseWork("p", 1)
+				tr.AddPhaseRounds("q", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.PhaseWork("p") != 8000 || tr.PhaseRounds("q") != 8000 {
+		t.Fatalf("lost updates: %d/%d", tr.PhaseWork("p"), tr.PhaseRounds("q"))
+	}
+}

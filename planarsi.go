@@ -1,0 +1,219 @@
+// Package planarsi is a parallel library for subgraph isomorphism in
+// planar graphs and planar vertex connectivity, reproducing
+//
+//	Gianinazzi, Hoefler: "Parallel Planar Subgraph Isomorphism and
+//	Vertex Connectivity", SPAA 2020 (arXiv:2007.01199).
+//
+// The headline results: deciding whether a connected pattern H with k
+// vertices occurs in a planar target G with n vertices takes
+// O((3k)^{3k+1} n log n) work and O(k log² n) depth (Monte Carlo), and
+// planar vertex connectivity is decided in O(n log n) work and
+// O(log² n) depth via separating cycles in the vertex-face incidence
+// graph.
+//
+// # Quick start
+//
+//	g := planarsi.Grid(32, 32)
+//	h := planarsi.Cycle(4)
+//	found, _ := planarsi.Decide(g, h, planarsi.Options{})           // true
+//	occs, _ := planarsi.ListOccurrences(g, h, planarsi.Options{})   // all C4s
+//	res, _ := planarsi.VertexConnectivity(g, planarsi.Options{})    // 2
+//
+// Yes-answers (found occurrences, reported cuts) are always exact and can
+// be re-checked with VerifyOccurrence / the returned witnesses;
+// no-answers are correct with high probability, with failure probability
+// shrinking geometrically in Options.MaxRuns.
+//
+// The implementation follows the paper's pipeline: Exponential Start Time
+// Clustering decomposes the target into low-diameter clusters (Lemma
+// 2.3), a parallel treewidth k-d cover cuts each cluster into
+// bounded-treewidth bands (Theorem 2.4), and each band is solved by a
+// dynamic program over a nice tree decomposition — either bottom-up
+// (Section 3.2) or through the parallel path-DAG engine with shortcut
+// reachability (Section 3.3). Extensions cover disconnected patterns
+// (Lemma 4.1), listing every occurrence (Theorem 4.2), and S-separating
+// occurrences (Lemma 5.3), which power the vertex connectivity decision
+// (Lemma 5.2). See DESIGN.md for the architecture and EXPERIMENTS.md for
+// the reproduced tables and figures.
+package planarsi
+
+import (
+	"planarsi/internal/conn"
+	"planarsi/internal/core"
+	"planarsi/internal/graph"
+	"planarsi/internal/planarity"
+	"planarsi/internal/treedecomp"
+	"planarsi/internal/wd"
+)
+
+// Graph is an immutable simple undirected graph in CSR form; embedded
+// graphs additionally carry a rotation system (combinatorial planar
+// embedding). Construct with NewBuilder/FromEdges or the generators.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Tracker accumulates empirical work (operation counts) and depth
+// (synchronous round counts), the PRAM quantities the paper's bounds are
+// stated in. Pass one in Options to instrument a call; nil disables
+// instrumentation.
+type Tracker = wd.Tracker
+
+// NewTracker returns an empty work/depth tracker.
+func NewTracker() *Tracker { return wd.NewTracker() }
+
+// Occurrence maps pattern vertices to target vertices; it certifies a
+// subgraph isomorphism (check with VerifyOccurrence).
+type Occurrence = core.Occurrence
+
+// Engine selects the per-band bounded-treewidth solver.
+type Engine = core.Engine
+
+const (
+	// EngineAuto picks the path-DAG engine for plain searches and the
+	// sequential engine for separating ones.
+	EngineAuto = core.EngineAuto
+	// EngineSequential forces the Section 3.2 bottom-up dynamic program.
+	EngineSequential = core.EngineSequential
+	// EnginePathDAG forces the Section 3.3 parallel path-DAG engine.
+	EnginePathDAG = core.EnginePathDAG
+)
+
+// Heuristic selects the tree decomposition heuristic used on cover bands.
+type Heuristic = treedecomp.Heuristic
+
+const (
+	// MinDegree eliminates minimum-degree vertices first (fast, default).
+	MinDegree = treedecomp.MinDegree
+	// MinFill eliminates minimum-fill-in vertices first (slower, often
+	// narrower decompositions).
+	MinFill = treedecomp.MinFill
+)
+
+// Options configures the randomized pipeline. The zero value is usable.
+type Options struct {
+	// Seed makes runs reproducible; equal seeds give equal results.
+	Seed uint64
+	// Engine selects the per-band solver (default EngineAuto).
+	Engine Engine
+	// MaxRuns bounds the independent repetitions used to drive down the
+	// one-sided error; 0 selects 2·ceil(log2 n)+3, enough for w.h.p.
+	// correctness of negative answers.
+	MaxRuns int
+	// Heuristic selects the band tree-decomposition heuristic.
+	Heuristic Heuristic
+	// Beta overrides the clustering parameter (default 2k).
+	Beta float64
+	// Tracker records empirical work/depth when non-nil.
+	Tracker *Tracker
+	// Stats receives pipeline statistics when non-nil.
+	Stats *Stats
+}
+
+// Stats reports what a pipeline call did.
+type Stats = core.Stats
+
+func (o Options) core() core.Options {
+	return core.Options{
+		Seed:      o.Seed,
+		Engine:    o.Engine,
+		MaxRuns:   o.MaxRuns,
+		Heuristic: o.Heuristic,
+		Beta:      o.Beta,
+		Tracker:   o.Tracker,
+		Stats:     o.Stats,
+	}
+}
+
+// Decide reports whether the pattern h occurs in the target g as a
+// subgraph (Theorem 2.1 for connected patterns, Lemma 4.1 for
+// disconnected ones). True answers are exact; false answers hold w.h.p.
+func Decide(g, h *Graph, opt Options) (bool, error) {
+	return core.Decide(g, h, opt.core())
+}
+
+// FindOccurrence returns one occurrence of the connected pattern h in g,
+// or nil when none was found within the run budget.
+func FindOccurrence(g, h *Graph, opt Options) (Occurrence, error) {
+	return core.FindOne(g, h, opt.core())
+}
+
+// ListOccurrences returns (w.h.p.) every occurrence of the connected
+// pattern h in g, deduplicated, following the Theorem 4.2 stopping rule.
+// Automorphic images of the same vertex set count as distinct
+// occurrences.
+func ListOccurrences(g, h *Graph, opt Options) ([]Occurrence, error) {
+	return core.List(g, h, opt.core())
+}
+
+// CountOccurrences returns (w.h.p.) the number of occurrences of the
+// connected pattern h in g.
+func CountOccurrences(g, h *Graph, opt Options) (int, error) {
+	return core.Count(g, h, opt.core())
+}
+
+// DecideSeparating searches for an occurrence of the connected pattern h
+// whose removal disconnects at least two vertices of the terminal set s
+// (Lemma 5.3). It returns a witness occurrence or nil.
+func DecideSeparating(g, h *Graph, s []bool, opt Options) (Occurrence, error) {
+	return core.DecideSeparating(g, h, s, opt.core())
+}
+
+// VerifyOccurrence checks that occ is an injective map from h's vertices
+// to g's vertices realizing every edge of h.
+func VerifyOccurrence(g, h *Graph, occ Occurrence) bool {
+	return core.VerifyOccurrence(g, h, occ)
+}
+
+// VerifySeparating additionally checks that removing occ's image
+// disconnects two vertices of s.
+func VerifySeparating(g, h *Graph, s []bool, occ Occurrence) bool {
+	return core.VerifySeparating(g, h, s, occ)
+}
+
+// IsPlanar reports whether g admits a planar embedding (decided exactly
+// by the Demoucron-Malgrange-Pertuiset algorithm).
+func IsPlanar(g *Graph) bool { return planarity.IsPlanar(g) }
+
+// EmbedPlanar returns a copy of g carrying a combinatorial planar
+// embedding (rotation system), or ErrNotPlanar. Generators in this
+// package already produce embedded graphs; use this for graphs built
+// from raw edge lists.
+func EmbedPlanar(g *Graph) (*Graph, error) { return planarity.Embed(g) }
+
+// ErrNotPlanar reports that a graph has no planar embedding.
+var ErrNotPlanar = planarity.ErrNotPlanar
+
+// ConnectivityResult reports a vertex connectivity decision.
+type ConnectivityResult = conn.Result
+
+// VertexConnectivity decides the vertex connectivity of the planar graph
+// g in O(n log n) work and O(log² n) depth (Lemma 5.2). Graphs without
+// an embedding are embedded first (EmbedPlanar); non-planar inputs
+// return ErrNotPlanar. Reported cuts always verify; the connectivity
+// value holds w.h.p.
+func VertexConnectivity(g *Graph, opt Options) (ConnectivityResult, error) {
+	return conn.VertexConnectivity(g, conn.Options{
+		Seed:    opt.Seed,
+		MaxRuns: opt.MaxRuns,
+		Tracker: opt.Tracker,
+	})
+}
+
+// VerifyCut checks that removing the given vertices disconnects g.
+func VerifyCut(g *Graph, cut []int32) bool {
+	return conn.VerifyCut(g, cut)
+}
+
+// ErrPatternTooLarge is returned when the pattern exceeds the engine
+// capacity (MaxPatternSize vertices).
+var ErrPatternTooLarge = core.ErrPatternTooLarge
+
+// ErrDisconnectedPattern is returned by operations that require a
+// connected pattern (listing, counting, separating search).
+var ErrDisconnectedPattern = core.ErrDisconnectedPattern
+
+// MaxPatternSize is the largest supported pattern (the DP packs pattern
+// vertices into 16-bit masks).
+const MaxPatternSize = 16
