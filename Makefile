@@ -1,0 +1,31 @@
+# CI entry points. `make` (or `make ci`) runs what the build must keep
+# green: vet, build, the full test suite, and the race pass over the
+# packages with concurrent hot paths (the Index's memoized decompositions
+# and the fork-join runtime). The race pass uses -short: it targets
+# thread-safety, not the statistical sweeps, which the plain test run
+# already covers.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-index
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/index ./internal/core ./internal/par
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# The headline Index comparison: batched Scan vs independent Decide calls.
+bench-index:
+	$(GO) test -bench=BenchmarkIndexScan -run '^$$' -benchtime 10x .

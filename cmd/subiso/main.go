@@ -1,5 +1,5 @@
-// Command subiso decides, finds, lists or counts occurrences of a pattern
-// graph inside a target graph using the paper's parallel planar subgraph
+// Command subiso decides, finds, lists or counts occurrences of pattern
+// graphs inside a target graph using the paper's parallel planar subgraph
 // isomorphism pipeline.
 //
 // Usage:
@@ -8,17 +8,23 @@
 //	subiso -target g.edges -pattern h.edges -mode find      # one witness
 //	subiso -target g.edges -pattern h.edges -mode list      # all occurrences
 //	subiso -target g.edges -pattern h.edges -mode count
+//	subiso -target g.edges -pattern h1.edges,h2.edges,...   # batched scan
 //
-// Both files use the edge-list format: one "u v" pair per line, '#'
-// comments, optional "n <count>" header. The pattern may be disconnected
-// in decide mode. With -stats, work/depth counters and pipeline
-// statistics are printed to stderr.
+// All files use the edge-list format: one "u v" pair per line, '#'
+// comments, optional "n <count>" header. Patterns may be disconnected in
+// decide mode. -pattern accepts a comma-separated list; the target is
+// preprocessed once (planarsi.Index) and shared by every query. Decide
+// and count batches run concurrently over the shared decompositions
+// (Index.Scan/ScanCount); find and list answer patterns one at a time,
+// still reusing the Index. One line is printed per pattern. With -stats,
+// work/depth counters and pipeline statistics are printed to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"planarsi"
 	"planarsi/internal/gio"
@@ -26,7 +32,7 @@ import (
 
 func main() {
 	target := flag.String("target", "", "target graph edge-list file (required)")
-	pattern := flag.String("pattern", "", "pattern graph edge-list file (required)")
+	pattern := flag.String("pattern", "", "pattern edge-list file(s), comma-separated (required)")
 	mode := flag.String("mode", "decide", "decide | find | list | count")
 	seed := flag.Uint64("seed", 1, "random seed")
 	runs := flag.Int("runs", 0, "cover repetitions (0 = w.h.p. default)")
@@ -41,9 +47,12 @@ func main() {
 	if err != nil {
 		fatal("target: %v", err)
 	}
-	h, err := gio.ReadEdgeListFile(*pattern)
-	if err != nil {
-		fatal("pattern: %v", err)
+	files := strings.Split(*pattern, ",")
+	hs := make([]*planarsi.Graph, len(files))
+	for i, f := range files {
+		if hs[i], err = gio.ReadEdgeListFile(f); err != nil {
+			fatal("pattern: %v", err)
+		}
 	}
 
 	opt := planarsi.Options{Seed: *seed, MaxRuns: *runs}
@@ -52,47 +61,72 @@ func main() {
 		opt.Tracker = planarsi.NewTracker()
 		opt.Stats = &st
 	}
+	// One Index serves the whole invocation: the target is preprocessed
+	// once even when several patterns are given, and answers are
+	// identical to the one-shot API's for the same options.
+	ix := planarsi.NewIndex(g, opt)
+	batch := len(hs) > 1
 
+	exit := 0
 	switch *mode {
 	case "decide":
-		found, err := planarsi.Decide(g, h, opt)
-		if err != nil {
-			fatal("%v", err)
+		for i, res := range ix.Scan(hs) {
+			if res.Err != nil {
+				fatal("%s: %v", files[i], res.Err)
+			}
+			printBatch(batch, files[i], res.Found)
+			if !res.Found {
+				exit = 1
+			}
 		}
-		fmt.Println(found)
-		report(opt, st)
-		if !found {
-			os.Exit(1)
+	case "count":
+		for i, res := range ix.ScanCount(hs) {
+			if res.Err != nil {
+				fatal("%s: %v", files[i], res.Err)
+			}
+			printBatch(batch, files[i], res.Count)
 		}
 	case "find":
-		occ, err := planarsi.FindOccurrence(g, h, opt)
-		if err != nil {
-			fatal("%v", err)
-		}
-		report(opt, st)
-		if occ == nil {
-			fmt.Println("not found")
-			os.Exit(1)
-		}
-		printOccurrence(occ)
-	case "list":
-		occs, err := planarsi.ListOccurrences(g, h, opt)
-		if err != nil {
-			fatal("%v", err)
-		}
-		for _, occ := range occs {
+		for i, h := range hs {
+			occ, err := ix.FindOccurrence(h)
+			if err != nil {
+				fatal("%s: %v", files[i], err)
+			}
+			if occ == nil {
+				printBatch(batch, files[i], "not found")
+				exit = 1
+				continue
+			}
+			if batch {
+				fmt.Printf("%s: ", files[i])
+			}
 			printOccurrence(occ)
 		}
-		report(opt, st)
-	case "count":
-		count, err := planarsi.CountOccurrences(g, h, opt)
-		if err != nil {
-			fatal("%v", err)
+	case "list":
+		for i, h := range hs {
+			occs, err := ix.ListOccurrences(h)
+			if err != nil {
+				fatal("%s: %v", files[i], err)
+			}
+			for _, occ := range occs {
+				if batch {
+					fmt.Printf("%s: ", files[i])
+				}
+				printOccurrence(occ)
+			}
 		}
-		fmt.Println(count)
-		report(opt, st)
 	default:
 		fatal("unknown mode %q", *mode)
+	}
+	report(opt, st)
+	os.Exit(exit)
+}
+
+func printBatch(batch bool, file string, v any) {
+	if batch {
+		fmt.Printf("%s: %v\n", file, v)
+	} else {
+		fmt.Println(v)
 	}
 }
 

@@ -1,0 +1,3 @@
+module planarsi
+
+go 1.24

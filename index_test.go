@@ -1,0 +1,96 @@
+package planarsi_test
+
+import (
+	"sort"
+	"testing"
+
+	"planarsi"
+)
+
+// TestPublicIndex exercises the public Index surface: batched Scan
+// answers must equal the package-level calls for the same Options, and
+// equal seeds must give identical results with and without the Index.
+func TestPublicIndex(t *testing.T) {
+	g := planarsi.Grid(6, 6)
+	patterns := []*planarsi.Graph{
+		planarsi.Cycle(4), planarsi.Cycle(3), planarsi.Path(4), planarsi.Star(4),
+	}
+	opt := planarsi.Options{Seed: 21, MaxRuns: 8}
+	ix := planarsi.NewIndex(g, opt)
+
+	for i, res := range ix.Scan(patterns) {
+		if res.Err != nil {
+			t.Fatalf("pattern %d: %v", i, res.Err)
+		}
+		direct, err := planarsi.Decide(g, patterns[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != direct {
+			t.Errorf("pattern %d: Scan=%v, Decide=%v", i, res.Found, direct)
+		}
+	}
+
+	// Same seed, fresh Index: identical answers (determinism with and
+	// without shared preprocessing).
+	ix2 := planarsi.NewIndex(g, opt)
+	count1, err1 := ix.CountOccurrences(planarsi.Cycle(4))
+	count2, err2 := ix2.CountOccurrences(planarsi.Cycle(4))
+	direct, err3 := planarsi.CountOccurrences(g, planarsi.Cycle(4), opt)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatal(err1, err2, err3)
+	}
+	if count1 != count2 || count1 != direct {
+		t.Errorf("C4 counts diverge: index=%d, fresh index=%d, direct=%d", count1, count2, direct)
+	}
+	if want := 5 * 5 * 8; count1 != want {
+		t.Errorf("C4 maps in 6x6 grid = %d, want %d", count1, want)
+	}
+
+	occs, err := ix.ListOccurrences(planarsi.Cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	directOccs, err := planarsi.ListOccurrences(g, planarsi.Cycle(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(os []planarsi.Occurrence) []string {
+		out := make([]string, len(os))
+		for i, o := range os {
+			out[i] = o.Key()
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := keys(occs), keys(directOccs)
+	if len(a) != len(b) {
+		t.Fatalf("List through index: %d occurrences, direct: %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("List sets diverge at %d", i)
+		}
+	}
+
+	if !ix.Planar() {
+		t.Error("grid reported non-planar")
+	}
+}
+
+// TestPublicIndexFindAndVerify checks witness queries through the Index.
+func TestPublicIndexFindAndVerify(t *testing.T) {
+	g := planarsi.Wheel(8)
+	ix := planarsi.NewIndex(g, planarsi.Options{Seed: 5})
+	h := planarsi.Cycle(3)
+	occ, err := ix.FindOccurrence(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ == nil {
+		t.Fatal("wheel contains triangles; none found")
+	}
+	if !planarsi.VerifyOccurrence(g, h, occ) {
+		t.Errorf("witness does not verify: %v", occ)
+	}
+}

@@ -19,9 +19,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 
-	"planarsi/internal/cover"
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
@@ -112,20 +112,41 @@ func (o Options) rng(stream uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(o.Seed, 0x9e3779b97f4a7c15^stream))
 }
 
+// statsMu guards every Stats update: band solves run in parallel loops,
+// and an Index serves concurrent queries sharing one Stats. A global
+// mutex is deliberate — it is only taken when Stats is non-nil
+// (instrumentation mode), at per-band granularity, and embedding a lock
+// in the public Stats struct would break callers that copy it.
+var statsMu sync.Mutex
+
 func (o Options) addRun(bands int) {
-	if o.Stats != nil {
-		o.Stats.Runs++
-		o.Stats.Bands += bands
+	if o.Stats == nil {
+		return
 	}
+	statsMu.Lock()
+	o.Stats.Runs++
+	o.Stats.Bands += bands
+	statsMu.Unlock()
 }
 
 func (o Options) noteWidth(w int) {
 	if o.Stats == nil {
 		return
 	}
+	statsMu.Lock()
 	if w > o.Stats.MaxBandWidth {
 		o.Stats.MaxBandWidth = w
 	}
+	statsMu.Unlock()
+}
+
+func (o Options) noteFallback() {
+	if o.Stats == nil {
+		return
+	}
+	statsMu.Lock()
+	o.Stats.FallbackBands++
+	statsMu.Unlock()
 }
 
 // validate performs the shared pattern checks. It returns (decided,
@@ -152,50 +173,58 @@ func validate(g, h *graph.Graph) (trivial bool, result bool, err error) {
 // (Lemma 4.1). The answer is exact when true and correct w.h.p. when
 // false.
 func Decide(g, h *graph.Graph, opt Options) (bool, error) {
+	return DecideFrom(freshSource{g, opt}, g, h, opt)
+}
+
+// DecideFrom is Decide drawing its per-run covers from src; an Index
+// passes itself to reuse preprocessing across queries. For equal Options,
+// answers are identical to Decide's regardless of the source.
+func DecideFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool, error) {
 	if trivial, res, err := validate(g, h); trivial || err != nil {
 		return res, err
 	}
 	if _, l := graph.Components(h); l > 1 {
+		// The Lemma 4.1 extension searches color-class induced subgraphs
+		// of g, which no target-side cache can serve.
 		return decideDisconnected(g, h, l, opt)
 	}
-	return decideConnected(g, h, opt)
+	return decideConnectedFrom(src, g, h, opt)
 }
 
-// decideConnected runs the Theorem 2.1 pipeline: up to MaxRuns covers,
-// each band solved exactly, early exit on the first hit.
-func decideConnected(g, h *graph.Graph, opt Options) (bool, error) {
+// decideConnectedFrom runs the Theorem 2.1 pipeline: up to MaxRuns
+// prepared covers, each band solved exactly, early exit on the first hit.
+func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool, error) {
 	k := h.N()
 	if k == 1 {
 		return g.N() >= 1, nil
 	}
 	d := graph.Diameter(h)
-	rng := opt.rng(1)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
-		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
-		opt.addRun(len(cov.Bands))
-		if coverHasOccurrence(cov, h, opt) {
+		pc := src.Prepared(k, d, run)
+		opt.addRun(len(pc.Bands))
+		if preparedHasOccurrence(pc, h, opt) {
 			return true, nil
 		}
 	}
 	return false, nil
 }
 
-// coverHasOccurrence solves every band of the cover in parallel and
-// reports whether any contains the pattern.
-func coverHasOccurrence(cov *cover.Cover, h *graph.Graph, opt Options) bool {
+// preparedHasOccurrence solves every band of the prepared cover in
+// parallel and reports whether any contains the pattern.
+func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool {
 	var found atomic.Bool
-	bands := cov.Bands
+	bands := pc.Bands
 	par.ForGrain(0, len(bands), 1, func(i int) {
-		b := bands[i]
-		if found.Load() || b.G.N() < h.N() {
+		pb := &bands[i]
+		if found.Load() || pb.Band.G.N() < h.N() {
 			return
 		}
-		eng, ok := solveBand(b, h, false, opt)
+		eng, ok := solvePrepared(pb, h, false, opt)
 		if !ok {
 			// Fallback: the band decomposition was too wide for the
 			// engine; the naive baseline is exact on the band.
-			if naive.Decide(b.G, h) {
+			if naive.Decide(pb.Band.G, h) {
 				found.Store(true)
 			}
 			return
@@ -207,20 +236,18 @@ func coverHasOccurrence(cov *cover.Cover, h *graph.Graph, opt Options) bool {
 	return found.Load()
 }
 
-// solveBand builds the band's nice tree decomposition and runs the
-// selected engine. ok=false signals that the decomposition exceeded the
-// engine's bag capacity and the caller must use the naive fallback.
-func solveBand(b *cover.Band, h *graph.Graph, separating bool, opt Options) (*match.Result, bool) {
-	td := treedecomp.Build(b.G, opt.Heuristic)
-	opt.noteWidth(td.Width())
-	nd := treedecomp.MakeNice(td)
-	if nd.Width+1 > match.MaxBag {
-		if opt.Stats != nil {
-			opt.Stats.FallbackBands++
-		}
+// solvePrepared runs the selected engine on a prepared band. ok=false
+// signals that the decomposition exceeded the engine's bag capacity and
+// the caller must use the naive fallback. The prepared band is only read,
+// so concurrent queries may share it.
+func solvePrepared(pb *PreparedBand, h *graph.Graph, separating bool, opt Options) (*match.Result, bool) {
+	opt.noteWidth(pb.Width)
+	if pb.Fallback {
+		opt.noteFallback()
 		return nil, false
 	}
-	p := &match.Problem{G: b.G, H: h, ND: nd, Allowed: b.Allowed, S: b.S, Separating: separating}
+	b := pb.Band
+	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S, Separating: separating}
 	if separating || opt.Engine == EngineSequential {
 		// The path-DAG engine covers plain mode only (its state universe
 		// enumeration has no separating labels).

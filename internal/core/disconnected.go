@@ -49,7 +49,7 @@ func decideDisconnected(g, h *graph.Graph, l int, opt Options) (bool, error) {
 				ok = false
 				break
 			}
-			found, err := decideConnected(gi, hi, inner)
+			found, err := decideConnectedFrom(freshSource{gi, inner}, gi, hi, inner)
 			if err != nil {
 				return false, err
 			}

@@ -4,7 +4,6 @@ import (
 	"math"
 	"sync"
 
-	"planarsi/internal/cover"
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
@@ -22,6 +21,11 @@ import (
 // automorphic images of the same vertex set count separately, matching the
 // paper's listing semantics.
 func List(g, h *graph.Graph, opt Options) ([]Occurrence, error) {
+	return ListFrom(freshSource{g, opt}, g, h, opt)
+}
+
+// ListFrom is List drawing its per-run covers from src.
+func ListFrom(src CoverSource, g, h *graph.Graph, opt Options) ([]Occurrence, error) {
 	if trivial, res, err := validate(g, h); err != nil {
 		return nil, err
 	} else if trivial {
@@ -43,16 +47,15 @@ func List(g, h *graph.Graph, opt Options) ([]Occurrence, error) {
 		return out, nil
 	}
 	d := graph.Diameter(h)
-	rng := opt.rng(3)
 	found := make(map[string]Occurrence)
 	logN := math.Log2(float64(g.N()) + 2)
 	j := 0
 	streak := 0
 	for {
+		pc := src.Prepared(k, d, j)
 		j++
-		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
-		opt.addRun(len(cov.Bands))
-		occs := enumerateCover(cov, h, opt)
+		opt.addRun(len(pc.Bands))
+		occs := enumeratePrepared(pc, h, opt)
 		added := 0
 		for _, o := range occs {
 			key := o.Key()
@@ -92,9 +95,20 @@ func Count(g, h *graph.Graph, opt Options) (int, error) {
 	return len(occs), err
 }
 
+// CountFrom is Count drawing its per-run covers from src.
+func CountFrom(src CoverSource, g, h *graph.Graph, opt Options) (int, error) {
+	occs, err := ListFrom(src, g, h, opt)
+	return len(occs), err
+}
+
 // FindOne returns a single occurrence of the connected pattern h in g, or
 // nil when none was found within the run budget.
 func FindOne(g, h *graph.Graph, opt Options) (Occurrence, error) {
+	return FindOneFrom(freshSource{g, opt}, g, h, opt)
+}
+
+// FindOneFrom is FindOne drawing its per-run covers from src.
+func FindOneFrom(src CoverSource, g, h *graph.Graph, opt Options) (Occurrence, error) {
 	if trivial, res, err := validate(g, h); err != nil {
 		return nil, err
 	} else if trivial {
@@ -111,30 +125,29 @@ func FindOne(g, h *graph.Graph, opt Options) (Occurrence, error) {
 		return Occurrence{0}, nil
 	}
 	d := graph.Diameter(h)
-	rng := opt.rng(4)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
-		cov := cover.Build(g, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
-		opt.addRun(len(cov.Bands))
-		if occ := findInCover(cov, h, opt); occ != nil {
+		pc := src.Prepared(k, d, run)
+		opt.addRun(len(pc.Bands))
+		if occ := findInPrepared(pc, h, opt); occ != nil {
 			return occ, nil
 		}
 	}
 	return nil, nil
 }
 
-// enumerateCover lists every occurrence contained in some band of the
-// cover, translated to original vertex ids. Following Section 4.2.1, only
-// occurrences touching the band's lowest BFS level are reported, so each
-// occurrence inside a cluster is produced by exactly one band (the one
-// whose lowest level is the occurrence's closest-to-root level); this
-// keeps the per-run work proportional to the number of occurrences rather
-// than d times it.
-func enumerateCover(cov *cover.Cover, h *graph.Graph, opt Options) []Occurrence {
-	bands := cov.Bands
+// enumeratePrepared lists every occurrence contained in some band of the
+// prepared cover, translated to original vertex ids. Following Section
+// 4.2.1, only occurrences touching the band's lowest BFS level are
+// reported, so each occurrence inside a cluster is produced by exactly one
+// band (the one whose lowest level is the occurrence's closest-to-root
+// level); this keeps the per-run work proportional to the number of
+// occurrences rather than d times it.
+func enumeratePrepared(pc *PreparedCover, h *graph.Graph, opt Options) []Occurrence {
+	bands := pc.Bands
 	results := make([][]Occurrence, len(bands))
 	par.ForGrain(0, len(bands), 1, func(i int) {
-		results[i] = enumerateBand(bands[i], h, opt)
+		results[i] = enumerateBand(&bands[i], h, opt)
 	})
 	var out []Occurrence
 	for _, r := range results {
@@ -144,12 +157,13 @@ func enumerateCover(cov *cover.Cover, h *graph.Graph, opt Options) []Occurrence 
 }
 
 // enumerateBand lists the band's occurrences that touch its lowest level.
-func enumerateBand(b *cover.Band, h *graph.Graph, opt Options) []Occurrence {
+func enumerateBand(pb *PreparedBand, h *graph.Graph, opt Options) []Occurrence {
+	b := pb.Band
 	if b.G.N() < h.N() {
 		return nil
 	}
 	var local []match.Assignment
-	if eng, ok := solveBand(b, h, false, opt); ok {
+	if eng, ok := solvePrepared(pb, h, false, opt); ok {
 		local = eng.Enumerate(0)
 	} else {
 		for _, a := range naive.Search(b.G, h, naive.Options{}) {
@@ -158,7 +172,7 @@ func enumerateBand(b *cover.Band, h *graph.Graph, opt Options) []Occurrence {
 	}
 	var out []Occurrence
 	for _, a := range local {
-		if !touchesLowest(b, a) {
+		if !touchesLowest(b.LowestLevelLocal, a) {
 			continue
 		}
 		occ := make(Occurrence, len(a))
@@ -170,23 +184,24 @@ func enumerateBand(b *cover.Band, h *graph.Graph, opt Options) []Occurrence {
 	return out
 }
 
-func touchesLowest(b *cover.Band, a match.Assignment) bool {
+func touchesLowest(lowest []bool, a match.Assignment) bool {
 	for _, lv := range a {
-		if lv >= 0 && b.LowestLevelLocal[lv] {
+		if lv >= 0 && lowest[lv] {
 			return true
 		}
 	}
 	return false
 }
 
-// findInCover returns one occurrence from any band of the cover (original
-// ids), or nil.
-func findInCover(cov *cover.Cover, h *graph.Graph, opt Options) Occurrence {
-	bands := cov.Bands
+// findInPrepared returns one occurrence from any band of the prepared
+// cover (original ids), or nil.
+func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
+	bands := pc.Bands
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
-		b := bands[i]
+		pb := &bands[i]
+		b := pb.Band
 		mu.Lock()
 		done := hit != nil
 		mu.Unlock()
@@ -194,7 +209,7 @@ func findInCover(cov *cover.Cover, h *graph.Graph, opt Options) Occurrence {
 			return
 		}
 		var local []match.Assignment
-		if eng, ok := solveBand(b, h, false, opt); ok {
+		if eng, ok := solvePrepared(pb, h, false, opt); ok {
 			local = eng.Enumerate(1)
 		} else {
 			for _, a := range naive.Search(b.G, h, naive.Options{Limit: 1}) {

@@ -1,0 +1,162 @@
+package core
+
+// Shared-preprocessing support: the pipeline's target-side artifacts
+// (ESTC clusterings, k-d covers, nice band decompositions) are split out
+// of the query loops so they can be built once and served to many
+// queries.
+//
+// Two properties make the split sound:
+//
+//  1. Per-run randomness is derived, not consumed. Run i's clustering is
+//     a pure function of (Options.Seed, coverStream, i), so a cached
+//     cover for run i is bit-identical to the one a fresh pipeline would
+//     build — answers with and without a cache are the same for equal
+//     Options.
+//  2. Prepared artifacts are immutable. The engines only read the band
+//     graph, the nice decomposition and the Allowed/S masks, so one
+//     PreparedCover can serve any number of concurrent queries.
+
+import (
+	"math/rand/v2"
+
+	"planarsi/internal/cover"
+	"planarsi/internal/estc"
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+	"planarsi/internal/par"
+	"planarsi/internal/treedecomp"
+)
+
+// coverStream is the rng stream from which every cover construction
+// derives its per-run randomness. All cover-based operations (Decide,
+// FindOne, List, Count, DecideSeparating) draw from this one stream so
+// that run i of any operation sees the same clustering — the property
+// that lets an Index reuse one prepared cover across operation types.
+const coverStream = 1
+
+// runRNG returns the rng driving independent run `run` of the given
+// stream. Unlike a sequentially consumed rng, the derivation is a pure
+// function of (Seed, stream, run), so run i's cover can be rebuilt — or
+// served from a cache — without replaying runs 0..i-1.
+func (o Options) runRNG(stream uint64, run int) *rand.Rand {
+	return rand.New(rand.NewPCG(o.Seed, 0x9e3779b97f4a7c15^(stream<<32)^uint64(run)))
+}
+
+// CoverBeta returns the effective clustering parameter for pattern size k:
+// 2k per Theorem 2.4, unless Options.Beta overrides it.
+func CoverBeta(k int, opt Options) float64 {
+	if opt.Beta > 0 {
+		return opt.Beta
+	}
+	return float64(2 * k)
+}
+
+// RunBudget returns the number of independent cover repetitions a
+// negative answer needs for w.h.p. correctness on an n-vertex target
+// (MaxRuns when set). Callers prewarming a cache use it to size the
+// per-(k, d) run range.
+func RunBudget(n int, opt Options) int { return opt.maxRuns(n) }
+
+// ClusterRun builds run `run`'s ESTC clustering of g for the clustering
+// parameter beta. Equal (Seed, beta, run) give equal clusterings.
+func ClusterRun(g *graph.Graph, beta float64, run int, opt Options) *estc.Clustering {
+	return estc.Cluster(g, beta, opt.runRNG(coverStream, run), opt.Tracker)
+}
+
+// PreparedBand couples a cover band with its nice tree decomposition,
+// built once and reusable by any number of queries.
+type PreparedBand struct {
+	// Band is the underlying cover band (graph, Orig map, Allowed/S
+	// masks, lowest-level marks).
+	Band *cover.Band
+	// ND is the band graph's nice tree decomposition; nil when the
+	// decomposition exceeded the engine's bag capacity (Fallback).
+	ND *treedecomp.Nice
+	// Width is the width of the band's tree decomposition.
+	Width int
+	// Fallback marks bands that must be solved by the exact naive
+	// baseline because their decomposition was too wide for the DP.
+	Fallback bool
+}
+
+// PreparedCover is one independent run's cover with every band
+// decomposition precomputed. It is immutable after construction and safe
+// for concurrent use.
+type PreparedCover struct {
+	Cover *cover.Cover
+	Bands []PreparedBand
+}
+
+// prepare decomposes every band of cov in parallel.
+func prepare(cov *cover.Cover, opt Options) *PreparedCover {
+	pc := &PreparedCover{Cover: cov, Bands: make([]PreparedBand, len(cov.Bands))}
+	par.ForGrain(0, len(cov.Bands), 1, func(i int) {
+		b := cov.Bands[i]
+		td := treedecomp.Build(b.G, opt.Heuristic)
+		nd := treedecomp.MakeNice(td)
+		pb := PreparedBand{Band: b, Width: td.Width()}
+		if nd.Width+1 > match.MaxBag {
+			pb.Fallback = true
+		} else {
+			pb.ND = nd
+		}
+		pc.Bands[i] = pb
+	})
+	return pc
+}
+
+// PrepareRun builds and decomposes run `run`'s plain cover of g for
+// patterns of size k and diameter d — the fresh, uncached path.
+func PrepareRun(g *graph.Graph, k, d, run int, opt Options) *PreparedCover {
+	return PrepareFromClustering(g, ClusterRun(g, CoverBeta(k, opt), run, opt), k, d, opt)
+}
+
+// PrepareFromClustering decomposes the plain cover induced by an existing
+// clustering (shared across pattern diameters by a cache).
+func PrepareFromClustering(g *graph.Graph, cl *estc.Clustering, k, d int, opt Options) *PreparedCover {
+	cov := cover.FromClustering(g, cl, cover.Params{K: k, D: d, Beta: opt.Beta}, opt.Tracker)
+	return prepare(cov, opt)
+}
+
+// PrepareSeparatingRun is PrepareRun for the Section 5.2.1 separating
+// covers (band minors carrying Allowed and S marks for terminal set s).
+func PrepareSeparatingRun(g *graph.Graph, s []bool, k, d, run int, opt Options) *PreparedCover {
+	return PrepareSeparatingFromClustering(g, ClusterRun(g, CoverBeta(k, opt), run, opt), s, k, d, opt)
+}
+
+// PrepareSeparatingFromClustering decomposes the separating cover induced
+// by an existing clustering.
+func PrepareSeparatingFromClustering(g *graph.Graph, cl *estc.Clustering, s []bool, k, d int, opt Options) *PreparedCover {
+	cov := cover.SeparatingFromClustering(g, cl, s, cover.Params{K: k, D: d, Beta: opt.Beta}, opt.Tracker)
+	return prepare(cov, opt)
+}
+
+// A CoverSource supplies the prepared plain cover for each independent
+// run of a pipeline loop, keyed by pattern size k, pattern diameter d and
+// run index. Implementations must be safe for concurrent use and must
+// return the cover PrepareRun(g, k, d, run, opt) would build for the same
+// Options; planarsi.Index returns memoized instances.
+type CoverSource interface {
+	Prepared(k, d, run int) *PreparedCover
+}
+
+// A SeparatingSource supplies prepared separating covers per (terminal
+// set, pattern size, pattern diameter, run).
+type SeparatingSource interface {
+	PreparedSeparating(s []bool, k, d, run int) *PreparedCover
+}
+
+// freshSource rebuilds every prepared cover on demand: the non-indexed
+// single-query path.
+type freshSource struct {
+	g   *graph.Graph
+	opt Options
+}
+
+func (f freshSource) Prepared(k, d, run int) *PreparedCover {
+	return PrepareRun(f.g, k, d, run, f.opt)
+}
+
+func (f freshSource) PreparedSeparating(s []bool, k, d, run int) *PreparedCover {
+	return PrepareSeparatingRun(f.g, s, k, d, run, f.opt)
+}

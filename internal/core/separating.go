@@ -23,6 +23,12 @@ import (
 // image — and the per-band engine is the Section 5.2.2 extension tracking
 // inside/outside labels.
 func DecideSeparating(g, h *graph.Graph, s []bool, opt Options) (Occurrence, error) {
+	return DecideSeparatingFrom(freshSource{g, opt}, g, h, s, opt)
+}
+
+// DecideSeparatingFrom is DecideSeparating drawing its per-run separating
+// covers from src.
+func DecideSeparatingFrom(src SeparatingSource, g, h *graph.Graph, s []bool, opt Options) (Occurrence, error) {
 	if trivial, res, err := validate(g, h); err != nil {
 		return nil, err
 	} else if trivial {
@@ -49,26 +55,26 @@ func DecideSeparating(g, h *graph.Graph, s []bool, opt Options) (Occurrence, err
 	}
 	k := h.N()
 	d := graph.Diameter(h)
-	rng := opt.rng(5)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
-		cov := cover.BuildSeparating(g, s, cover.Params{K: k, D: d, Beta: opt.Beta}, rng, opt.Tracker)
-		opt.addRun(len(cov.Bands))
-		if occ := findSeparatingInCover(cov, h, opt); occ != nil {
+		pc := src.PreparedSeparating(s, k, d, run)
+		opt.addRun(len(pc.Bands))
+		if occ := findSeparatingInPrepared(pc, h, opt); occ != nil {
 			return occ, nil
 		}
 	}
 	return nil, nil
 }
 
-// findSeparatingInCover solves every separating band and returns one
+// findSeparatingInPrepared solves every separating band and returns one
 // witness occurrence in original vertex ids, or nil.
-func findSeparatingInCover(cov *cover.Cover, h *graph.Graph, opt Options) Occurrence {
-	bands := cov.Bands
+func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
+	bands := pc.Bands
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
-		b := bands[i]
+		pb := &bands[i]
+		b := pb.Band
 		mu.Lock()
 		done := hit != nil
 		mu.Unlock()
@@ -76,7 +82,7 @@ func findSeparatingInCover(cov *cover.Cover, h *graph.Graph, opt Options) Occurr
 			return
 		}
 		var local match.Assignment
-		if eng, ok := solveBand(b, h, true, opt); ok {
+		if eng, ok := solvePrepared(pb, h, true, opt); ok {
 			if as := eng.Enumerate(1); len(as) > 0 {
 				local = as[0]
 			}

@@ -83,7 +83,14 @@ func (p Params) beta() float64 {
 
 // Build constructs a plain k-d cover of g (Theorem 2.4).
 func Build(g *graph.Graph, p Params, rng *rand.Rand, tr *wd.Tracker) *Cover {
-	cl := estc.Cluster(g, p.beta(), rng, tr)
+	return FromClustering(g, estc.Cluster(g, p.beta(), rng, tr), p, tr)
+}
+
+// FromClustering constructs the plain k-d cover induced by an existing
+// ESTC clustering. It is the second half of Build, split out so callers
+// serving many queries against one target (planarsi.Index) can reuse a
+// single clustering across every pattern diameter d.
+func FromClustering(g *graph.Graph, cl *estc.Clustering, p Params, tr *wd.Tracker) *Cover {
 	c := &Cover{Clustering: cl}
 	members := clusterMembers(cl, g.N())
 	bandsPer := make([][]*Band, cl.NumClusters())
@@ -163,7 +170,13 @@ func clusterBands(g *graph.Graph, cl *estc.Clustering, ci int32, member []int32,
 // become minors carrying Allowed and S marks. s is the terminal mask over
 // the original graph.
 func BuildSeparating(g *graph.Graph, s []bool, p Params, rng *rand.Rand, tr *wd.Tracker) *Cover {
-	cl := estc.Cluster(g, p.beta(), rng, tr)
+	return SeparatingFromClustering(g, estc.Cluster(g, p.beta(), rng, tr), s, p, tr)
+}
+
+// SeparatingFromClustering constructs the separating cover induced by an
+// existing ESTC clustering (the BuildSeparating analogue of
+// FromClustering).
+func SeparatingFromClustering(g *graph.Graph, cl *estc.Clustering, s []bool, p Params, tr *wd.Tracker) *Cover {
 	c := &Cover{Clustering: cl}
 	members := clusterMembers(cl, g.N())
 	bandsPer := make([][]*Band, cl.NumClusters())

@@ -1,0 +1,313 @@
+// Package index implements the shared-preprocessing batch-query engine:
+// an Index preprocesses one target graph and serves many pattern queries
+// over cached pipeline artifacts.
+//
+// The paper's pipeline spends almost all of its target-side work on
+// preprocessing — ESTC clustering (Lemma 2.3), the treewidth k-d cover
+// (Theorem 2.4) and the nice tree decompositions of its bands — while the
+// per-pattern dynamic program is comparatively cheap. The one-shot API
+// (core.Decide and friends) rebuilds all of it per call; an Index builds
+// each artifact at most once and reuses it for every query against the
+// same target, the preprocess-once/query-many shape of Eppstein's JGAA
+// 1999 formulation.
+//
+// Caching is sound because core derives run i's randomness as a pure
+// function of (Seed, stream, run) and all prepared artifacts are
+// immutable: an Index returns exactly the covers a fresh pipeline would
+// build, so answers with and without the Index are identical for equal
+// Options.
+//
+// Memoization keys:
+//
+//   - clusterings by (beta, run) where beta = 2k (or Options.Beta), so
+//     one clustering serves every pattern diameter of a size class;
+//   - plain prepared covers by (k, d, run);
+//   - separating prepared covers by (k, d, run, terminal set).
+//
+// Seed and Heuristic are fixed per Index (they are part of its Options),
+// so they need not appear in the keys. All methods are safe for
+// concurrent use: lookups take a short lock and construction happens
+// under a per-key sync.Once, so two goroutines asking for the same
+// artifact build it once and share it.
+package index
+
+import (
+	"math"
+	"sync"
+
+	"planarsi/internal/core"
+	"planarsi/internal/estc"
+	"planarsi/internal/graph"
+	"planarsi/internal/par"
+	"planarsi/internal/planarity"
+)
+
+// Index preprocesses a fixed target graph and answers repeated subgraph
+// isomorphism queries over shared, memoized pipeline artifacts. Build one
+// with New; the zero value is not usable.
+type Index struct {
+	g   *graph.Graph
+	opt core.Options
+
+	// embedOnce computes the target's planar embedding at most once
+	// (queries do not need it, so it is lazy).
+	embedOnce sync.Once
+	embedded  *graph.Graph
+	embedErr  error
+
+	mu       sync.Mutex
+	clusters map[clusterKey]*clusterEntry
+	plain    map[coverKey]*coverEntry
+	sep      map[sepKey]*coverEntry
+}
+
+type clusterKey struct {
+	betaBits uint64
+	run      int
+}
+
+type coverKey struct {
+	k, d, run int
+}
+
+type sepKey struct {
+	k, d, run int
+	// s is the terminal mask packed into a byte string: an exact key, so
+	// distinct terminal sets can never collide.
+	s string
+}
+
+type clusterEntry struct {
+	once sync.Once
+	cl   *estc.Clustering
+}
+
+type coverEntry struct {
+	once sync.Once
+	pc   *core.PreparedCover
+}
+
+// New builds an Index over the target g with the given pipeline options.
+// Construction itself is O(1): clusterings, covers and band
+// decompositions are built lazily on first use and memoized for the
+// Index's lifetime (use Prewarm to pay the cost up front). Options.Seed
+// fixes the Index's randomness — an Index answers exactly as the one-shot
+// API would with the same Options.
+func New(g *graph.Graph, opt core.Options) *Index {
+	return &Index{
+		g:        g,
+		opt:      opt,
+		clusters: make(map[clusterKey]*clusterEntry),
+		plain:    make(map[coverKey]*coverEntry),
+		sep:      make(map[sepKey]*coverEntry),
+	}
+}
+
+// Graph returns the Index's target.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// embed computes the target's planar embedding once.
+func (ix *Index) embed() {
+	ix.embedOnce.Do(func() {
+		ix.embedded, ix.embedErr = planarity.Embed(ix.g)
+	})
+}
+
+// Planar reports whether the target admits a planar embedding, computing
+// (and caching) the embedding on first call. The query pipeline stays
+// correct on non-planar targets — only the Theorem 2.4 treewidth bound,
+// and with it the work guarantee, needs planarity.
+func (ix *Index) Planar() bool {
+	ix.embed()
+	return ix.embedErr == nil
+}
+
+// Embedded returns the target carrying a combinatorial planar embedding
+// (rotation system), or planarity.ErrNotPlanar. The embedding is computed
+// once and cached.
+func (ix *Index) Embedded() (*graph.Graph, error) {
+	ix.embed()
+	return ix.embedded, ix.embedErr
+}
+
+// clustering returns the memoized ESTC clustering for (beta, run).
+func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
+	key := clusterKey{math.Float64bits(beta), run}
+	ix.mu.Lock()
+	e, ok := ix.clusters[key]
+	if !ok {
+		e = &clusterEntry{}
+		ix.clusters[key] = e
+	}
+	ix.mu.Unlock()
+	e.once.Do(func() {
+		e.cl = core.ClusterRun(ix.g, beta, run, ix.opt)
+	})
+	return e.cl
+}
+
+// Prepared implements core.CoverSource: it returns the memoized prepared
+// plain cover for run `run` of pattern shape (k, d), identical to the one
+// core.PrepareRun would build fresh.
+//
+// Runs past the decide budget are built fresh and not cached: the
+// listing loop's adaptive stopping rule (Theorem 4.2) can push run
+// indices arbitrarily far on occurrence-rich targets, and memoizing that
+// tail would grow the cache without bound. Identity of answers is
+// unaffected — a fresh build equals a cached one by construction.
+func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
+	if run >= core.RunBudget(ix.g.N(), ix.opt) {
+		return core.PrepareRun(ix.g, k, d, run, ix.opt)
+	}
+	key := coverKey{k, d, run}
+	ix.mu.Lock()
+	e, ok := ix.plain[key]
+	if !ok {
+		e = &coverEntry{}
+		ix.plain[key] = e
+	}
+	ix.mu.Unlock()
+	e.once.Do(func() {
+		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
+		e.pc = core.PrepareFromClustering(ix.g, cl, k, d, ix.opt)
+	})
+	return e.pc
+}
+
+// PreparedSeparating implements core.SeparatingSource: the memoized
+// separating cover for run `run` of pattern shape (k, d) and terminal set
+// s. It shares the (beta, run) clustering with the plain covers.
+func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover {
+	key := sepKey{k, d, run, packMask(s)}
+	ix.mu.Lock()
+	e, ok := ix.sep[key]
+	if !ok {
+		e = &coverEntry{}
+		ix.sep[key] = e
+	}
+	ix.mu.Unlock()
+	e.once.Do(func() {
+		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
+		e.pc = core.PrepareSeparatingFromClustering(ix.g, cl, s, k, d, ix.opt)
+	})
+	return e.pc
+}
+
+// packMask renders a bool mask as a compact comparable string.
+func packMask(s []bool) string {
+	b := make([]byte, (len(s)+7)/8)
+	for i, in := range s {
+		if in {
+			b[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(b)
+}
+
+// Decide reports whether the pattern h occurs in the target. Answers
+// equal core.Decide's for the Index's Options: true answers are exact,
+// false answers hold w.h.p.
+func (ix *Index) Decide(h *graph.Graph) (bool, error) {
+	return core.DecideFrom(ix, ix.g, h, ix.opt)
+}
+
+// FindOccurrence returns one occurrence of the connected pattern h, or
+// nil when none was found within the run budget.
+func (ix *Index) FindOccurrence(h *graph.Graph) (core.Occurrence, error) {
+	return core.FindOneFrom(ix, ix.g, h, ix.opt)
+}
+
+// ListOccurrences returns (w.h.p.) every occurrence of the connected
+// pattern h, deduplicated (Theorem 4.2 stopping rule).
+func (ix *Index) ListOccurrences(h *graph.Graph) ([]core.Occurrence, error) {
+	return core.ListFrom(ix, ix.g, h, ix.opt)
+}
+
+// CountOccurrences returns (w.h.p.) the number of occurrences of the
+// connected pattern h.
+func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
+	return core.CountFrom(ix, ix.g, h, ix.opt)
+}
+
+// DecideSeparating searches for an occurrence of the connected pattern h
+// whose removal disconnects at least two vertices of the terminal set s
+// (Lemma 5.3), returning a witness occurrence or nil.
+func (ix *Index) DecideSeparating(h *graph.Graph, s []bool) (core.Occurrence, error) {
+	return core.DecideSeparatingFrom(ix, ix.g, h, s, ix.opt)
+}
+
+// ScanResult is one pattern's answer in a batched scan.
+type ScanResult struct {
+	// Found reports whether the pattern occurs (Decide semantics: exact
+	// when true, w.h.p. when false).
+	Found bool
+	// Count is the occurrence count; populated by ScanCount only.
+	Count int
+	// Err is the pattern's own failure (e.g. an oversized pattern); it
+	// does not abort the rest of the batch.
+	Err error
+}
+
+// Scan decides every pattern of the batch, running the queries
+// concurrently over the shared preprocessing. Results are positionally
+// aligned with patterns, and each equals what Decide would return for
+// that pattern alone.
+func (ix *Index) Scan(patterns []*graph.Graph) []ScanResult {
+	out := make([]ScanResult, len(patterns))
+	par.ForGrain(0, len(patterns), 1, func(i int) {
+		found, err := ix.Decide(patterns[i])
+		out[i] = ScanResult{Found: found, Err: err}
+	})
+	return out
+}
+
+// ScanCount counts every pattern of the batch, running the queries
+// concurrently over the shared preprocessing. Each result's Count (and
+// Found = Count > 0) equals what CountOccurrences would return for that
+// pattern alone.
+func (ix *Index) ScanCount(patterns []*graph.Graph) []ScanResult {
+	out := make([]ScanResult, len(patterns))
+	par.ForGrain(0, len(patterns), 1, func(i int) {
+		c, err := ix.CountOccurrences(patterns[i])
+		out[i] = ScanResult{Found: c > 0, Count: c, Err: err}
+	})
+	return out
+}
+
+// Prewarm materializes the full run budget of prepared covers for pattern
+// shape (k = pattern size, d = pattern diameter) in parallel, moving the
+// preprocessing cost out of the first queries.
+func (ix *Index) Prewarm(k, d int) {
+	runs := core.RunBudget(ix.g.N(), ix.opt)
+	par.ForGrain(0, runs, 1, func(run int) {
+		ix.Prepared(k, d, run)
+	})
+}
+
+// CachedCovers reports how many prepared covers (plain + separating) are
+// currently memoized — cache introspection for tests and capacity
+// planning.
+func (ix *Index) CachedCovers() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.plain) + len(ix.sep)
+}
+
+// CachedClusterings reports how many ESTC clusterings are currently
+// memoized.
+func (ix *Index) CachedClusterings() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.clusters)
+}
+
+// Reset drops every memoized artifact, returning the Index to its
+// just-built state. In-flight queries keep the (immutable) artifacts they
+// already hold, so Reset is safe to call concurrently with queries.
+func (ix *Index) Reset() {
+	ix.mu.Lock()
+	ix.clusters = make(map[clusterKey]*clusterEntry)
+	ix.plain = make(map[coverKey]*coverEntry)
+	ix.sep = make(map[sepKey]*coverEntry)
+	ix.mu.Unlock()
+}

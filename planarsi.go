@@ -19,6 +19,42 @@
 //	occs, _ := planarsi.ListOccurrences(g, h, planarsi.Options{})   // all C4s
 //	res, _ := planarsi.VertexConnectivity(g, planarsi.Options{})    // 2
 //
+// # Batch queries: the Index
+//
+// The pipeline spends most of its work on target-side preprocessing —
+// ESTC clustering, the treewidth k-d cover, and nice tree decompositions
+// of the cover's bands — while the per-pattern dynamic program is
+// comparatively cheap. The package-level functions rebuild everything per
+// call; when many patterns are matched against one target, build an Index
+// instead:
+//
+//	ix := planarsi.NewIndex(g, planarsi.Options{Seed: 1})
+//	found, _ := ix.Decide(h)                   // same answer as Decide(g, h, opt)
+//	results := ix.Scan([]*planarsi.Graph{...}) // whole batch, concurrently
+//
+// Lifecycle and cost model: NewIndex is O(1) — preprocessing artifacts
+// are built lazily on first use and memoized for the Index's lifetime
+// (Prewarm pays the cost up front). The first query for a pattern shape
+// pays the usual preprocessing cost; every further query over the same
+// shape — any pattern with equal vertex count k and diameter d — reuses
+// the cached covers and decompositions and pays only for its dynamic
+// programs. Clusterings are memoized by (clustering parameter 2k, run)
+// and shared across all diameters of a size class; prepared covers are
+// memoized by (k, d, run); separating covers additionally key on the
+// terminal set. Seed and Heuristic are fixed per Index.
+//
+// Determinism and correctness are unchanged: per-run randomness is
+// derived purely from (Options.Seed, run), so an Index returns exactly
+// the covers a fresh call would build — for equal Options, answers with
+// and without an Index are identical, and the paper's exact-yes/w.h.p.-no
+// guarantees carry over verbatim.
+//
+// Concurrency: an Index is safe for concurrent use by any number of
+// goroutines. Cached artifacts are immutable and built exactly once per
+// key (concurrent requesters of a missing artifact block until the single
+// build finishes); Scan and ScanCount run their batch concurrently via
+// the internal fork-join runtime.
+//
 // Yes-answers (found occurrences, reported cuts) are always exact and can
 // be re-checked with VerifyOccurrence / the returned witnesses;
 // no-answers are correct with high probability, with failure probability
@@ -41,6 +77,7 @@ import (
 	"planarsi/internal/conn"
 	"planarsi/internal/core"
 	"planarsi/internal/graph"
+	"planarsi/internal/index"
 	"planarsi/internal/planarity"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/wd"
@@ -158,6 +195,26 @@ func CountOccurrences(g, h *Graph, opt Options) (int, error) {
 // (Lemma 5.3). It returns a witness occurrence or nil.
 func DecideSeparating(g, h *Graph, s []bool, opt Options) (Occurrence, error) {
 	return core.DecideSeparating(g, h, s, opt.core())
+}
+
+// Index preprocesses one target graph and serves repeated pattern
+// queries (Decide, FindOccurrence, ListOccurrences, CountOccurrences,
+// DecideSeparating) plus batched scans (Scan, ScanCount) over shared,
+// memoized pipeline artifacts. See the package documentation ("Batch
+// queries: the Index") for the lifecycle, memoization keys and
+// concurrency guarantees.
+type Index = index.Index
+
+// ScanResult is one pattern's answer in an Index.Scan or Index.ScanCount
+// batch.
+type ScanResult = index.ScanResult
+
+// NewIndex builds an Index over the target g. The options play the same
+// role as in the package-level calls and are fixed for the Index's
+// lifetime; for equal Options, Index answers are identical to the
+// corresponding package-level call.
+func NewIndex(g *Graph, opt Options) *Index {
+	return index.New(g, opt.core())
 }
 
 // VerifyOccurrence checks that occ is an injective map from h's vertices
