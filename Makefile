@@ -1,15 +1,18 @@
-# CI entry points. `make` (or `make ci`) runs what the build must keep
-# green: vet, build, the full test suite, and the race pass over the
-# packages with concurrent hot paths (the Index's memoized decompositions
-# and the fork-join runtime). The race pass uses -short: it targets
-# thread-safety, not the statistical sweeps, which the plain test run
-# already covers.
+# CI entry points. `make check` (or `make`, or the legacy `make ci`) is
+# the tier-1 gate the build must keep green: vet, build, the full test
+# suite, and the race pass over the packages with concurrent hot paths
+# (the Index's memoized decompositions, the fork-join runtime, and the
+# match/pmdag state-set arena shared by parallel path workers). The race
+# pass uses -short: it targets thread-safety, not the statistical sweeps,
+# which the plain test run already covers.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-index
+.PHONY: check ci vet build test race bench bench-index benchstat bench-smoke
 
-ci: vet build test race
+check: vet build test race
+
+ci: check
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/index ./internal/core ./internal/par
+	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -29,3 +32,16 @@ bench:
 # The headline Index comparison: batched Scan vs independent Decide calls.
 bench-index:
 	$(GO) test -bench=BenchmarkIndexScan -run '^$$' -benchtime 10x .
+
+# benchstat-ready runs of the perf-tracked benchmarks: the Table 1
+# decision pipeline (root package) and the flat state-set
+# micro-benchmarks (internal/match), 5 repetitions each. Pipe two runs
+# into benchstat to compare PRs; BENCH_*.json records the trajectory.
+benchstat:
+	$(GO) test -bench 'Table1|StateSet' -benchmem -count 5 -run '^$$' . ./internal/match
+
+# Pinned-seed smoke benchmark: every benchmark seeds its own PCG, so a
+# single iteration both exercises the perf-critical paths end to end and
+# fails loudly if a result drifts (each benchmark asserts its answers).
+bench-smoke:
+	$(GO) test -bench 'Table1DecideOurs|StateSet' -benchtime 1x -benchmem -run '^$$' . ./internal/match

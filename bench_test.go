@@ -32,7 +32,9 @@ import (
 // ---- Table 1: deciding subgraph isomorphism, ours vs baselines ----
 
 func BenchmarkTable1DecideOurs(b *testing.B) {
-	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+	// The five sizes match the BENCH_*.json perf-trajectory snapshots
+	// (ns/op, B/op, allocs/op, work/op at n = 2^10 .. 2^14).
+	for _, n := range []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(1, uint64(n)))
 			g := graph.RandomPlanar(n, 0.7, rng)

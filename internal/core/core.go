@@ -211,7 +211,10 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 }
 
 // preparedHasOccurrence solves every band of the prepared cover in
-// parallel and reports whether any contains the pattern.
+// parallel and reports whether any contains the pattern. Decision bands
+// run DecideOnly: the engines recycle consumed child sets as the
+// bottom-up order advances, so peak memory per band is the active
+// decomposition frontier, not the whole tree.
 func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool {
 	var found atomic.Bool
 	bands := pc.Bands
@@ -220,7 +223,7 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool 
 		if found.Load() || pb.Band.G.N() < h.N() {
 			return
 		}
-		eng, ok := solvePrepared(pb, h, false, opt)
+		eng, ok := solvePreparedMode(pb, h, false, true, opt)
 		if !ok {
 			// Fallback: the band decomposition was too wide for the
 			// engine; the naive baseline is exact on the band.
@@ -236,18 +239,27 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool 
 	return found.Load()
 }
 
-// solvePrepared runs the selected engine on a prepared band. ok=false
-// signals that the decomposition exceeded the engine's bag capacity and
-// the caller must use the naive fallback. The prepared band is only read,
-// so concurrent queries may share it.
+// solvePrepared runs the selected engine on a prepared band, keeping the
+// full per-node state sets (required by Enumerate). ok=false signals that
+// the decomposition exceeded the engine's bag capacity and the caller
+// must use the naive fallback. The prepared band is only read, so
+// concurrent queries may share it.
 func solvePrepared(pb *PreparedBand, h *graph.Graph, separating bool, opt Options) (*match.Result, bool) {
+	return solvePreparedMode(pb, h, separating, false, opt)
+}
+
+// solvePreparedMode is solvePrepared with an explicit decideOnly switch:
+// decision callers let the engines recycle child state sets as soon as
+// they are consumed (only Found is valid on the result).
+func solvePreparedMode(pb *PreparedBand, h *graph.Graph, separating, decideOnly bool, opt Options) (*match.Result, bool) {
 	opt.noteWidth(pb.Width)
 	if pb.Fallback {
 		opt.noteFallback()
 		return nil, false
 	}
 	b := pb.Band
-	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S, Separating: separating}
+	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S,
+		Separating: separating, DecideOnly: decideOnly}
 	if separating || opt.Engine == EngineSequential {
 		// The path-DAG engine covers plain mode only (its state universe
 		// enumeration has no separating labels).

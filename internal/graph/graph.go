@@ -16,7 +16,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Graph is an immutable undirected graph in CSR form.
@@ -165,10 +165,16 @@ func (b *Builder) BuildEmbedded(x, y []float64) *Graph {
 	for v := range b.adj {
 		vs := b.adj[v]
 		vx, vy := x[v], y[v]
-		sort.Slice(vs, func(i, j int) bool {
-			ai := math.Atan2(y[vs[i]]-vy, x[vs[i]]-vx)
-			aj := math.Atan2(y[vs[j]]-vy, x[vs[j]]-vx)
-			return ai < aj
+		slices.SortFunc(vs, func(a, b int32) int {
+			aa := math.Atan2(y[a]-vy, x[a]-vx)
+			ab := math.Atan2(y[b]-vy, x[b]-vx)
+			switch {
+			case aa < ab:
+				return -1
+			case aa > ab:
+				return 1
+			}
+			return 0
 		})
 	}
 	xc := make([]float64, len(x))

@@ -25,6 +25,11 @@ type Problem struct {
 	Allowed []bool
 	// S is the vertex set to separate (separating mode only).
 	S []bool
+	// DecideOnly lets the engines recycle the state set of every child
+	// node back to the run arena as soon as its parent has consumed it,
+	// bounding peak memory by the active frontier instead of the whole
+	// tree. Only the root set survives: Found works, Enumerate panics.
+	DecideOnly bool
 }
 
 func (p *Problem) allowed(v int32) bool {
@@ -37,8 +42,10 @@ func (p *Problem) allowed(v int32) bool {
 // of Section 3.3 (package pmdag), so both compute identical semantics.
 type Result struct {
 	p *Problem
-	// Sets[i] holds the valid states of nice node i.
-	Sets []map[State]struct{}
+	// Sets[i] holds the valid states of nice node i (nil when the node
+	// has not been solved, or when its set was recycled in DecideOnly
+	// mode after its parent consumed it).
+	Sets []*StateSet
 	pi   patternInfo
 	// nodeSlot caches, per nice node, the slot of the introduced vertex
 	// in its own bag (introduce nodes) or of the forgotten vertex in the
@@ -49,13 +56,47 @@ type Result struct {
 	nodeSlot []int32
 	introAdj []uint32
 	// statesGenerated counts every state emission (the work measure the
-	// Lemma 3.1 experiments report). Atomic: the pmdag engine drives
-	// transitions from parallel path workers.
+	// Lemma 3.1 experiments report). The transition methods themselves do
+	// NOT touch it: callers accumulate emissions in a plain local int64
+	// and flush once per node (sequential engine) or once per path
+	// (pmdag) via AddStatesGenerated, so the per-emission hot path runs
+	// zero atomic operations.
 	statesGenerated atomic.Int64
+	// arena recycles per-node StateSets within this run.
+	arena arena
 }
 
 // StatesGenerated returns the number of state emissions so far.
 func (r *Result) StatesGenerated() int64 { return r.statesGenerated.Load() }
+
+// AddStatesGenerated flushes a batch of locally counted state emissions
+// into the work counter. Engines call this once per node or per path, not
+// per emission.
+func (r *Result) AddStatesGenerated(n int64) {
+	if n != 0 {
+		r.statesGenerated.Add(n)
+	}
+}
+
+// NewSet returns an empty StateSet from the run's arena, pre-sized for
+// about hint states. Engines use it for the per-node sets they store into
+// Sets.
+func (r *Result) NewSet(hint int) *StateSet { return r.arena.get(hint) }
+
+// RecycleNode returns node i's state set to the run arena and clears the
+// entry. The caller must be the set's only remaining consumer; in the
+// bottom-up order that is node i's parent, right after it consumed the
+// set (DecideOnly mode).
+func (r *Result) RecycleNode(i int32) {
+	if s := r.Sets[i]; s != nil {
+		r.Sets[i] = nil
+		r.arena.put(s)
+	}
+}
+
+// Recycle returns a scratch set obtained from NewSet to the run arena.
+// The caller must hold the only reference (including States() slices).
+func (r *Result) Recycle(s *StateSet) { r.arena.put(s) }
 
 // NewEngine prepares a Result shell usable as a transition engine without
 // running the bottom-up DP (pmdag drives the transitions itself).
@@ -66,7 +107,7 @@ func NewEngine(p *Problem) *Result {
 	r := &Result{p: p, pi: newPatternInfo(p.H)}
 	nd := p.ND
 	n := nd.NumNodes()
-	r.Sets = make([]map[State]struct{}, n)
+	r.Sets = make([]*StateSet, n)
 	r.nodeSlot = make([]int32, n)
 	r.introAdj = make([]uint32, n)
 	for i := 0; i < n; i++ {
@@ -103,7 +144,7 @@ func (r *Result) AllMatchedMask() uint16 { return r.pi.allMatched() }
 func (r *Result) Found() bool {
 	root := r.p.ND.Root
 	want := r.pi.allMatched()
-	for s := range r.Sets[root] {
+	for _, s := range r.Sets[root].States() {
 		if s.C == want && (!r.p.Separating || (s.IX && s.OX)) {
 			return true
 		}
@@ -116,30 +157,48 @@ func (r *Result) Found() bool {
 func Run(p *Problem, tr *wd.Tracker) *Result {
 	r := NewEngine(p)
 	nd := p.ND
+	var ji JoinIndex
 	for _, i := range nd.Order {
-		var set map[State]struct{}
+		var set *StateSet
+		// emitted batches this node's state emissions; one flush per node
+		// keeps atomics out of the per-emission path.
+		var emitted int64
 		switch nd.Kind[i] {
 		case treedecomp.Leaf:
-			set = map[State]struct{}{emptyState(): {}}
+			set = r.arena.get(1)
+			set.Add(emptyState())
 		case treedecomp.Introduce:
-			set = make(map[State]struct{}, len(r.Sets[nd.Left[i]]))
-			for cs := range r.Sets[nd.Left[i]] {
+			child := r.Sets[nd.Left[i]]
+			set = r.arena.get(child.Len())
+			for _, cs := range child.States() {
 				r.IntroduceSuccessors(i, cs, func(s State, _ bool) {
-					set[s] = struct{}{}
+					set.Add(s)
+					emitted++
 				})
 			}
 		case treedecomp.Forget:
-			set = make(map[State]struct{}, len(r.Sets[nd.Left[i]]))
-			for cs := range r.Sets[nd.Left[i]] {
+			child := r.Sets[nd.Left[i]]
+			set = r.arena.get(child.Len())
+			for _, cs := range child.States() {
+				emitted++
 				if s, ok := r.ForgetSuccessor(i, cs); ok {
-					set[s] = struct{}{}
+					set.Add(s)
 				}
 			}
 		case treedecomp.Join:
-			set = r.joinStep(i, r.Sets[nd.Left[i]], r.Sets[nd.Right[i]])
+			set = r.joinStep(r.Sets[nd.Left[i]], r.Sets[nd.Right[i]], &ji, &emitted)
 		}
 		r.Sets[i] = set
-		tr.AddPhaseWork("dp", int64(len(set)))
+		r.AddStatesGenerated(emitted)
+		tr.AddPhaseWork("dp", int64(set.Len()))
+		if p.DecideOnly {
+			if l := nd.Left[i]; l >= 0 {
+				r.RecycleNode(l)
+			}
+			if rt := nd.Right[i]; rt >= 0 {
+				r.RecycleNode(rt)
+			}
+		}
 	}
 	tr.AddPhaseRounds("dp", int64(nd.NumNodes()))
 	return r
@@ -149,18 +208,21 @@ func Run(p *Problem, tr *wd.Tracker) *Result {
 // introduce node i transitions to, calling emit(state, newMatch) for each.
 // newMatch is true exactly when the transition maps a new pattern vertex
 // (a non-forest edge of Section 3.3.2); the skip/label transitions are the
-// no-new-match extensions of Figure 5.
+// no-new-match extensions of Figure 5. The caller counts emissions (one
+// per emit call) and flushes them via AddStatesGenerated.
 func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) {
 	p, pi := r.p, &r.pi
 	nd := p.ND
 	v := nd.Vertex[i]
 	slot := int(r.nodeSlot[i])
 	adjMask := r.introAdj[i]
-	base := remapIntroduce(cs, slot)
+	// The mapped-vertex mask is invariant under slot remapping, so it is
+	// computed in the same pass that shifts the slots instead of by a
+	// second k-iteration MMask scan per state.
+	base, mmask := remapIntroduceM(cs, slot, pi.k)
 	// Option (a): leave v unmatched by the pattern.
 	if !p.Separating {
 		emit(base, false)
-		r.statesGenerated.Add(1)
 	} else {
 		// Label v inside or outside, respecting G-edges to other
 		// unmapped bag vertices. Label masks only carry bits on unmapped
@@ -176,7 +238,6 @@ func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) 
 					s.IX = true
 				}
 				emit(s, false)
-				r.statesGenerated.Add(1)
 			}
 			if !forcedIn {
 				s := base
@@ -185,7 +246,6 @@ func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) 
 					s.OX = true
 				}
 				emit(s, false)
-				r.statesGenerated.Add(1)
 			}
 		}
 	}
@@ -193,7 +253,6 @@ func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) 
 	if !p.allowed(v) {
 		return
 	}
-	mmask := base.MMask(pi.k)
 	for u := 0; u < pi.k; u++ {
 		if base.Phi[u] >= 0 || base.C&(1<<u) != 0 {
 			continue
@@ -217,7 +276,6 @@ func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) 
 		s := base
 		s.Phi[u] = int8(slot)
 		emit(s, true)
-		r.statesGenerated.Add(1)
 	}
 }
 
@@ -225,23 +283,27 @@ func (r *Result) IntroduceSuccessors(i int32, cs State, emit func(State, bool)) 
 // forget node i, or ok=false when the transition is invalid (a mapped
 // vertex leaves the bag while an H-neighbor is still unmatched). Forget
 // transitions never match a new vertex: they are always forest edges.
+// Like all transitions it does not count work; the caller accumulates one
+// emission per call.
 func (r *Result) ForgetSuccessor(i int32, cs State) (State, bool) {
 	pi := &r.pi
 	slot := int(r.nodeSlot[i]) // slot of v in the child's bag
-	// Which pattern vertex (if any) maps to the forgotten slot?
+	// One pass finds the pattern vertex mapped to the forgotten slot (if
+	// any) and builds the mapped mask the validity check needs.
 	mapped := -1
+	var mmask uint16
 	for u := 0; u < pi.k; u++ {
-		if cs.Phi[u] == int8(slot) {
-			mapped = u
-			break
+		if cs.Phi[u] >= 0 {
+			mmask |= 1 << u
+			if cs.Phi[u] == int8(slot) {
+				mapped = u
+			}
 		}
 	}
-	r.statesGenerated.Add(1)
 	if mapped >= 0 {
 		// u's image leaves the bags: all H-neighbors must already be
 		// matched (in M or C), else an edge could never realize.
-		inMC := cs.MMask(pi.k) | cs.C
-		if pi.adj[mapped]&^inMC != 0 {
+		if pi.adj[mapped]&^(mmask|cs.C) != 0 {
 			return State{}, false
 		}
 		s := remapForget(cs, slot)
@@ -266,29 +328,32 @@ func (s *State) Signature() JoinSignature {
 
 // JoinCombine merges compatible sibling states at a join: equal signatures
 // (caller's responsibility), disjoint C sets, and no H-edge between the C
-// sets. The second return is false when incompatible.
+// sets. The second return is false when incompatible. The caller counts
+// one emission per call.
 func (r *Result) JoinCombine(ls, rs State) (State, bool) {
-	r.statesGenerated.Add(1)
 	return combineJoin(&r.pi, ls, rs)
 }
 
-// joinStep combines the states of a join node's two children.
-func (r *Result) joinStep(i int32, left, right map[State]struct{}) map[State]struct{} {
+// joinStep combines the states of a join node's two children: the right
+// side is sorted by join signature into the reused JoinIndex, and every
+// left state scans its signature bucket. emitted accumulates one count
+// per attempted combination — the counting the path-DAG engine always
+// used; the old sequential joinStep counted successes only, and the two
+// measures are harmonized on attempts (the work actually performed) so
+// the engines' Lemma 3.1 counters are comparable.
+func (r *Result) joinStep(left, right *StateSet, ji *JoinIndex, emitted *int64) *StateSet {
 	pi := &r.pi
-	group := make(map[JoinSignature][]State, len(right))
-	for rs := range right {
-		group[rs.Signature()] = append(group[rs.Signature()], rs)
-	}
-	out := make(map[State]struct{})
-	for ls := range left {
-		for _, rs := range group[ls.Signature()] {
-			if s, ok := combineJoin(pi, ls, rs); ok {
-				out[s] = struct{}{}
-				r.statesGenerated.Add(1)
+	ji.Build(right.States())
+	out := r.arena.get(left.Len())
+	for _, ls := range left.States() {
+		lo, hi := ji.Bucket(&ls)
+		for t := lo; t < hi; t++ {
+			*emitted++
+			if s, ok := combineJoin(pi, ls, *ji.At(t)); ok {
+				out.Add(s)
 			}
 		}
 	}
-	_ = i
 	return out
 }
 
@@ -323,6 +388,25 @@ func remapIntroduce(s State, slot int) State {
 	s.In = shiftMaskUp(s.In, slot)
 	s.Out = shiftMaskUp(s.Out, slot)
 	return s
+}
+
+// remapIntroduceM is remapIntroduce fused with the mapped-vertex mask:
+// one pass over the k live Phi entries both shifts the slots and collects
+// MMask (which remapping does not change). Entries at u >= k are always
+// -1 in engine states, so the shorter loop is equivalent.
+func remapIntroduceM(s State, slot int, k int) (State, uint16) {
+	var m uint16
+	for u := 0; u < k; u++ {
+		if s.Phi[u] >= 0 {
+			m |= 1 << u
+			if s.Phi[u] >= int8(slot) {
+				s.Phi[u]++
+			}
+		}
+	}
+	s.In = shiftMaskUp(s.In, slot)
+	s.Out = shiftMaskUp(s.Out, slot)
+	return s, m
 }
 
 // remapForget shifts slot indices for a bag that lost the vertex at
@@ -385,15 +469,15 @@ func (r *Result) Universe(i int32) []State {
 	}
 	var out []State
 	var phis []State
-	// Enumerate injective maps by DFS over pattern vertices.
-	var rec func(u int, s State, usedSlots uint32)
-	rec = func(u int, s State, usedSlots uint32) {
+	// Enumerate injective maps by DFS over pattern vertices, threading the
+	// mapped mask through the recursion instead of recomputing it per call.
+	var rec func(u int, s State, usedSlots uint32, mmask uint16)
+	rec = func(u int, s State, usedSlots uint32, mmask uint16) {
 		if u == pi.k {
 			phis = append(phis, s)
 			return
 		}
-		rec(u+1, s, usedSlots) // leave u unmapped for now
-		mmask := s.MMask(pi.k)
+		rec(u+1, s, usedSlots, mmask) // leave u unmapped for now
 		for slot := 0; slot < len(bag); slot++ {
 			if usedSlots&(1<<uint(slot)) != 0 || allowedMask>>uint(slot)&1 == 0 {
 				continue
@@ -411,10 +495,10 @@ func (r *Result) Universe(i int32) []State {
 			}
 			s2 := s
 			s2.Phi[u] = int8(slot)
-			rec(u+1, s2, usedSlots|1<<uint(slot))
+			rec(u+1, s2, usedSlots|1<<uint(slot), mmask|1<<u)
 		}
 	}
-	rec(0, emptyState(), 0)
+	rec(0, emptyState(), 0, 0)
 	// Attach every C subset of the unmapped vertices with no edge to U.
 	for _, s := range phis {
 		m := s.MMask(pi.k)

@@ -28,12 +28,15 @@ func (a Assignment) key() string {
 // exactly once because, for a fixed assignment, the DP trajectory through
 // the states is unique.
 func (r *Result) Enumerate(limit int) []Assignment {
+	if r.p.DecideOnly {
+		panic("match: Enumerate needs the full per-node state sets; the run was DecideOnly")
+	}
 	pi := &r.pi
 	nd := r.p.ND
 	want := pi.allMatched()
 	var out []Assignment
 	budget := limit
-	for s := range r.Sets[nd.Root] {
+	for _, s := range r.Sets[nd.Root].States() {
 		if s.C != want || (r.p.Separating && !(s.IX && s.OX)) {
 			continue
 		}
@@ -79,7 +82,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 				cs := s
 				cs.Phi[u] = -1
 				cs = unmapIntroduce(cs, slot)
-				if _, ok := r.Sets[child][cs]; ok {
+				if r.Sets[child].Contains(cs) {
 					for _, a := range r.enumerateAt(child, cs, budget) {
 						a[u] = v
 						out = append(out, a)
@@ -110,7 +113,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 						c2 := cs
 						c2.IX, c2.OX = ix, ox
 						c2 = unmapIntroduce(c2, slot)
-						if _, ok := r.Sets[child][c2]; ok {
+						if r.Sets[child].Contains(c2) {
 							out = append(out, r.enumerateAt(child, c2, budgetLeft(budget, len(out)))...)
 							if budget > 0 && len(out) >= budget {
 								return out
@@ -120,7 +123,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 				}
 			} else {
 				cs = unmapIntroduce(cs, slot)
-				if _, ok := r.Sets[child][cs]; ok {
+				if r.Sets[child].Contains(cs) {
 					out = append(out, r.enumerateAt(child, cs, budgetLeft(budget, len(out)))...)
 				}
 			}
@@ -138,7 +141,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 			cs := remapIntroduce(s, slot) // reinsert the slot
 			cs.C &^= 1 << uint(u)
 			cs.Phi[u] = int8(slot)
-			if _, ok := r.Sets[child][cs]; ok {
+			if r.Sets[child].Contains(cs) {
 				for _, a := range r.enumerateAt(child, cs, budgetLeft(budget, len(out))) {
 					out = append(out, a)
 					if budget > 0 && len(out) >= budget {
@@ -157,7 +160,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 				} else {
 					cs.Out |= 1 << uint(slot)
 				}
-				if _, ok := r.Sets[child][cs]; ok {
+				if r.Sets[child].Contains(cs) {
 					out = append(out, r.enumerateAt(child, cs, budgetLeft(budget, len(out)))...)
 					if budget > 0 && len(out) >= budget {
 						return out
@@ -165,7 +168,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 				}
 			}
 		} else {
-			if _, ok := r.Sets[child][base]; ok {
+			if r.Sets[child].Contains(base) {
 				out = append(out, r.enumerateAt(child, base, budgetLeft(budget, len(out)))...)
 			}
 		}
@@ -176,7 +179,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 		var out []Assignment
 		// Enumerate left states with C_l ⊆ C(s) and matching signature;
 		// the right state is then forced up to its C and flags.
-		for ls := range r.Sets[l] {
+		for _, ls := range r.Sets[l].States() {
 			if ls.Phi != s.Phi || ls.In != s.In || ls.Out != s.Out {
 				continue
 			}
@@ -189,7 +192,7 @@ func (r *Result) enumerateAt(i int32, s State, budget int) []Assignment {
 					rs := ls
 					rs.C = crNeeded
 					rs.IX, rs.OX = ixr, oxr
-					if _, ok := r.Sets[rgt][rs]; !ok {
+					if !r.Sets[rgt].Contains(rs) {
 						continue
 					}
 					comb, ok := combineJoin(pi, ls, rs)

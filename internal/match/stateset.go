@@ -1,0 +1,318 @@
+package match
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// This file is the flat state-set substrate the two DP engines run on.
+// The dynamic program only ever *inserts* states and *iterates* sets (a
+// node's set is written once, bottom-up, then read by its parent and by
+// top-down reconstruction), so the substrate drops everything a generic
+// map pays for that the DP does not need: no deletion, no tombstones, no
+// per-entry heap boxes, no rehash-on-iterate. A StateSet is a dense
+// insertion-ordered []State plus a power-of-two open-addressing table of
+// uint32 slot references used only for duplicate detection; iteration
+// walks the dense slice and is both cache-friendly and deterministic.
+// Sets come from a per-run arena (see arena below) so a DP over millions
+// of nodes recycles a bounded pool of tables instead of allocating one
+// map per node.
+
+// StateSet is an insert-only set of States: a dense insertion-ordered
+// slice plus an open-addressing index for membership. The zero value and
+// the nil pointer are both valid empty sets for reading (Len, Contains,
+// States); Add requires a non-nil receiver.
+type StateSet struct {
+	states []State
+	// table holds 1-based indices into states (0 = empty slot), sized a
+	// power of two; linear probing, no tombstones (insert-only).
+	table []uint32
+	mask  uint64
+}
+
+// NewStateSet returns an empty set pre-sized for about hint states.
+func NewStateSet(hint int) *StateSet {
+	s := &StateSet{}
+	s.Reserve(hint)
+	return s
+}
+
+// Len returns the number of states in the set.
+func (s *StateSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.states)
+}
+
+// States returns the dense slice of states in insertion order. The slice
+// aliases the set's storage: callers must not modify it and must not use
+// it after the set is recycled.
+func (s *StateSet) States() []State {
+	if s == nil {
+		return nil
+	}
+	return s.states
+}
+
+// Reset empties the set, keeping both the dense slice's and the table's
+// capacity for reuse.
+func (s *StateSet) Reset() {
+	s.states = s.states[:0]
+	clear(s.table) // memclr: 0 means empty, so no -1 refill pass
+}
+
+// Reserve grows the table so about hint states fit without rehashing.
+func (s *StateSet) Reserve(hint int) {
+	need := hint + hint/2 // keep load factor under 2/3
+	if need < 8 {
+		need = 8
+	}
+	if len(s.table) >= need {
+		return
+	}
+	size := uint64(1) << bits.Len64(uint64(need-1))
+	s.rehash(int(size))
+	if cap(s.states) < hint {
+		s.states = slices.Grow(s.states, hint-len(s.states))
+	}
+}
+
+// rehash replaces the table with one of the given power-of-two size and
+// reinserts the references of every held state.
+func (s *StateSet) rehash(size int) {
+	if cap(s.table) >= size {
+		s.table = s.table[:size]
+		clear(s.table)
+	} else {
+		s.table = make([]uint32, size)
+	}
+	s.mask = uint64(size - 1)
+	for idx := range s.states {
+		i := hashState(&s.states[idx]) & s.mask
+		for s.table[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = uint32(idx) + 1
+	}
+}
+
+// Add inserts st and reports whether it was not already present.
+func (s *StateSet) Add(st State) bool {
+	if len(s.states)*3 >= len(s.table)*2 {
+		s.Reserve(2*len(s.states) + 8)
+	}
+	i := hashState(&st) & s.mask
+	for {
+		ref := s.table[i]
+		if ref == 0 {
+			s.table[i] = uint32(len(s.states)) + 1
+			s.states = append(s.states, st)
+			return true
+		}
+		if s.states[ref-1] == st {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// IndexOf returns st's insertion index in States(), or -1 when absent.
+// It lets a StateSet double as the dense state-numbering the path-DAG
+// engine needs (replacing a separate map[State]int32 per level).
+func (s *StateSet) IndexOf(st State) int {
+	if s == nil || len(s.table) == 0 {
+		return -1
+	}
+	i := hashState(&st) & s.mask
+	for {
+		ref := s.table[i]
+		if ref == 0 {
+			return -1
+		}
+		if s.states[ref-1] == st {
+			return int(ref) - 1
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Contains reports whether st is in the set.
+func (s *StateSet) Contains(st State) bool {
+	if s == nil || len(s.table) == 0 {
+		return false
+	}
+	i := hashState(&st) & s.mask
+	for {
+		ref := s.table[i]
+		if ref == 0 {
+			return false
+		}
+		if s.states[ref-1] == st {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// packPhi packs the 16 slot bytes of a Phi array into two little-endian
+// words; together with C/In/Out/IX/OX they canonically encode a state, so
+// hashing and signature ordering work on machine words instead of struct
+// fields.
+func packPhi(phi *[MaxK]int8) (uint64, uint64) {
+	var w0, w1 uint64
+	for i := 0; i < 8; i++ {
+		w0 |= uint64(uint8(phi[i])) << (8 * i)
+		w1 |= uint64(uint8(phi[i+8])) << (8 * i)
+	}
+	return w0, w1
+}
+
+// wymix is the wyhash/wyrand folding primitive: full 64×64→128 multiply,
+// xor of the halves. Two multiplies per word pair give plenty of
+// avalanche for a power-of-two table with linear probing.
+func wymix(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+const (
+	wyp0 = 0xa0761d6478bd642f
+	wyp1 = 0xe7037ed1a0b428db
+	wyp2 = 0x8ebc6af09c88c6e3
+	wyp3 = 0x589965cc75374cc3
+)
+
+// hashState hashes the canonical 4-word packing of a state. It is a plain
+// function of the state's bytes (no per-process seed), so table layouts —
+// and therefore every downstream iteration order — are reproducible.
+func hashState(s *State) uint64 {
+	w0, w1 := packPhi(&s.Phi)
+	w2 := uint64(s.In) | uint64(s.Out)<<32
+	w3 := uint64(s.C)
+	if s.IX {
+		w3 |= 1 << 16
+	}
+	if s.OX {
+		w3 |= 1 << 17
+	}
+	return wymix(w0^wyp0, wymix(w1^wyp1, wymix(w2^wyp2, w3^wyp3)))
+}
+
+// arena recycles StateSets within one engine. get/put are mutex-guarded:
+// the sequential engine calls them uncontended once per node, and the
+// path-DAG engine calls them once per path from parallel workers — never
+// from a per-state hot loop.
+type arena struct {
+	mu   sync.Mutex
+	free []*StateSet
+}
+
+// get returns an empty set sized for about hint states, reusing a
+// recycled one when available.
+func (a *arena) get(hint int) *StateSet {
+	a.mu.Lock()
+	var s *StateSet
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free = a.free[:n-1]
+	}
+	a.mu.Unlock()
+	if s == nil {
+		return NewStateSet(hint)
+	}
+	s.Reserve(hint)
+	return s
+}
+
+// put recycles a set. The caller must be done with every slice previously
+// obtained from it via States().
+func (a *arena) put(s *StateSet) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	a.mu.Lock()
+	a.free = append(a.free, s)
+	a.mu.Unlock()
+}
+
+// sigKey is a join signature (Phi, In, Out) packed into three comparable
+// words; equal keys correspond exactly to equal JoinSignatures.
+type sigKey struct {
+	w0, w1, w2 uint64
+}
+
+func (s *State) sigKeyOf() sigKey {
+	w0, w1 := packPhi(&s.Phi)
+	return sigKey{w0, w1, uint64(s.In) | uint64(s.Out)<<32}
+}
+
+func cmpSigKey(a, b sigKey) int {
+	switch {
+	case a.w0 != b.w0:
+		if a.w0 < b.w0 {
+			return -1
+		}
+		return 1
+	case a.w1 != b.w1:
+		if a.w1 < b.w1 {
+			return -1
+		}
+		return 1
+	case a.w2 != b.w2:
+		if a.w2 < b.w2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+type sigEntry struct {
+	key sigKey
+	st  State
+}
+
+// JoinIndex answers "which states of this set share a given join
+// signature": the sort-by-signature + bucket-scan replacement for the
+// map[JoinSignature][]State both engines used to rebuild per join. Build
+// reuses the entry slice across calls, so one JoinIndex per run (or per
+// path worker) makes signature grouping allocation-free in steady state.
+// A JoinIndex must not be shared between concurrent goroutines.
+type JoinIndex struct {
+	entries []sigEntry
+}
+
+// Build (re)indexes the given states, sorted by signature.
+func (ji *JoinIndex) Build(states []State) {
+	ji.entries = ji.entries[:0]
+	ji.entries = slices.Grow(ji.entries, len(states))
+	for i := range states {
+		ji.entries = append(ji.entries, sigEntry{states[i].sigKeyOf(), states[i]})
+	}
+	slices.SortFunc(ji.entries, func(a, b sigEntry) int { return cmpSigKey(a.key, b.key) })
+}
+
+// Bucket returns the half-open entry range [lo, hi) of states sharing s's
+// join signature; access them with At.
+func (ji *JoinIndex) Bucket(s *State) (int, int) {
+	key := s.sigKeyOf()
+	lo, found := slices.BinarySearchFunc(ji.entries, key,
+		func(e sigEntry, k sigKey) int { return cmpSigKey(e.key, k) })
+	if !found {
+		return lo, lo
+	}
+	hi := lo + 1
+	for hi < len(ji.entries) && ji.entries[hi].key == key {
+		hi++
+	}
+	return lo, hi
+}
+
+// At returns the state of entry t. The pointer is valid until the next
+// Build.
+func (ji *JoinIndex) At(t int) *State {
+	return &ji.entries[t].st
+}

@@ -22,6 +22,11 @@
 // path then needs O(k log V) hops — at most k matching edges, and O(log V)
 // hops per forest segment — which the breadth-first search's round count
 // certifies empirically (Lemma 3.3).
+//
+// State sets live on the flat match.StateSet substrate: per-level
+// universes and per-node valid sets come from the engine's arena, join
+// grouping uses the sort-by-signature match.JoinIndex, and each path
+// worker batches its state-emission count into one flush per path.
 package pmdag
 
 import (
@@ -114,50 +119,51 @@ func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *St
 }
 
 // bottomStates computes the complete valid state set of a path's bottom
-// node directly from its (already solved) children.
-func bottomStates(eng *match.Result, i int32) map[match.State]struct{} {
+// node directly from its (already solved) children. State emissions are
+// accumulated into *emitted (the caller flushes once per path).
+func bottomStates(eng *match.Result, i int32, ji *match.JoinIndex, emitted *int64) *match.StateSet {
 	nd := eng.Problem().ND
 	switch nd.Kind[i] {
 	case treedecomp.Leaf:
-		s := match.EmptyState()
-		return map[match.State]struct{}{s: {}}
+		out := eng.NewSet(1)
+		out.Add(match.EmptyState())
+		return out
 	case treedecomp.Introduce:
-		out := make(map[match.State]struct{})
-		for cs := range eng.Sets[nd.Left[i]] {
+		child := eng.Sets[nd.Left[i]]
+		out := eng.NewSet(child.Len())
+		for _, cs := range child.States() {
 			eng.IntroduceSuccessors(i, cs, func(s match.State, _ bool) {
-				out[s] = struct{}{}
+				out.Add(s)
+				*emitted++
 			})
 		}
 		return out
 	case treedecomp.Forget:
-		out := make(map[match.State]struct{})
-		for cs := range eng.Sets[nd.Left[i]] {
+		child := eng.Sets[nd.Left[i]]
+		out := eng.NewSet(child.Len())
+		for _, cs := range child.States() {
+			*emitted++
 			if s, ok := eng.ForgetSuccessor(i, cs); ok {
-				out[s] = struct{}{}
+				out.Add(s)
 			}
 		}
 		return out
 	case treedecomp.Join:
-		out := make(map[match.State]struct{})
-		group := groupBySignature(eng.Sets[nd.Right[i]])
-		for ls := range eng.Sets[nd.Left[i]] {
-			for _, rs := range group[ls.Signature()] {
-				if s, ok := eng.JoinCombine(ls, rs); ok {
-					out[s] = struct{}{}
+		left := eng.Sets[nd.Left[i]]
+		out := eng.NewSet(left.Len())
+		ji.Build(eng.Sets[nd.Right[i]].States())
+		for _, ls := range left.States() {
+			lo, hi := ji.Bucket(&ls)
+			for t := lo; t < hi; t++ {
+				*emitted++
+				if s, ok := eng.JoinCombine(ls, *ji.At(t)); ok {
+					out.Add(s)
 				}
 			}
 		}
 		return out
 	}
 	panic("pmdag: unknown node kind")
-}
-
-func groupBySignature(set map[match.State]struct{}) map[match.JoinSignature][]match.State {
-	g := make(map[match.JoinSignature][]match.State, len(set))
-	for s := range set {
-		g[s.Signature()] = append(g[s.Signature()], s)
-	}
-	return g
 }
 
 // pathStats mirrors Stats for a single path.
@@ -168,40 +174,62 @@ type pathStats struct {
 
 // processPath materializes the partial-match DAG of one decomposition-tree
 // path, adds shortcuts, runs the reachability BFS, and stores the valid
-// sets of every node on the path into eng.Sets.
+// sets of every node on the path into eng.Sets. In DecideOnly mode only
+// the top node's set is stored, and the sets this path consumed (the
+// bottom node's children and the off-path join children) plus all scratch
+// universes go back to the engine's arena.
 func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pathStats {
-	nd := eng.Problem().ND
+	p := eng.Problem()
+	nd := p.ND
 	L := len(path)
+	// emitted batches every state emission of this path; one atomic flush
+	// at the end keeps the transition loops free of shared-counter traffic.
+	var emitted int64
+	// ji is this worker's reusable signature index for join grouping.
+	var ji match.JoinIndex
+	// consumed collects the child nodes whose sets this path read; in
+	// DecideOnly mode they are recycled once the path is done.
+	var consumed []int32
+	if p.DecideOnly {
+		if l := nd.Left[path[0]]; l >= 0 {
+			consumed = append(consumed, l)
+		}
+		if r := nd.Right[path[0]]; r >= 0 {
+			consumed = append(consumed, r)
+		}
+	}
 	// Universe of states per level; level 0 holds the bottom's valid set.
-	valid0 := bottomStates(eng, path[0])
-	uni := make([][]match.State, L)
-	idx := make([]map[match.State]int32, L)
-	uni[0] = make([]match.State, 0, len(valid0))
-	for s := range valid0 {
-		uni[0] = append(uni[0], s)
+	// Each level is a StateSet: the dense slice numbers the DAG vertices
+	// of the level and the index answers successor lookups.
+	uni := make([]*match.StateSet, L)
+	uni[0] = bottomStates(eng, path[0], &ji, &emitted)
+	for j := 1; j < L; j++ {
+		us := eng.Universe(path[j])
+		set := eng.NewSet(len(us))
+		for _, s := range us {
+			set.Add(s)
+		}
+		uni[j] = set
 	}
 	offset := make([]int32, L+1)
-	idx[0] = indexStates(uni[0])
-	for j := 1; j < L; j++ {
-		uni[j] = eng.Universe(path[j])
-		idx[j] = indexStates(uni[j])
-	}
 	for j := 0; j < L; j++ {
-		offset[j+1] = offset[j] + int32(len(uni[j]))
+		offset[j+1] = offset[j] + int32(uni[j].Len())
 	}
 	V := int(offset[L])
 
-	// Build edges: adjacency as edge lists per source, and the forest
-	// next-pointer (unique no-new-match successor).
-	adj := make([][]int32, V)
+	// Build edges into a flat (src, dst) pair list — compressed to CSR
+	// below — plus the forest next-pointer (unique no-new-match
+	// successor). A flat buffer replaces the old per-source [][]int32
+	// adjacency: one amortized slice instead of V headers and V append
+	// chains, and the BFS then walks contiguous memory.
+	pairs := make([]uint64, 0, 4*V)
 	forestNext := make([]int32, V)
 	for i := range forestNext {
 		forestNext[i] = -1
 	}
-	var edges, forestEdges int64
+	var forestEdges int64
 	addEdge := func(src, dst int32, forest bool) {
-		adj[src] = append(adj[src], dst)
-		edges++
+		pairs = append(pairs, uint64(src)<<32|uint64(uint32(dst)))
 		if forest {
 			forestNext[src] = dst
 			forestEdges++
@@ -211,22 +239,26 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 		node := path[j]
 		below := path[j-1]
 		lookup := func(s match.State) int32 {
-			li, ok := idx[j][s]
-			if !ok {
+			li := uni[j].IndexOf(s)
+			if li < 0 {
 				panic(fmt.Sprintf("pmdag: successor state missing from universe at node %d", node))
 			}
-			return offset[j] + li
+			return offset[j] + int32(li)
 		}
 		switch nd.Kind[node] {
 		case treedecomp.Introduce, treedecomp.Forget:
-			for li, s := range uni[j-1] {
+			for li, s := range uni[j-1].States() {
 				src := offset[j-1] + int32(li)
 				if nd.Kind[node] == treedecomp.Introduce {
 					eng.IntroduceSuccessors(node, s, func(t match.State, newMatch bool) {
+						emitted++
 						addEdge(src, lookup(t), !newMatch)
 					})
-				} else if t, ok := eng.ForgetSuccessor(node, s); ok {
-					addEdge(src, lookup(t), true)
+				} else {
+					emitted++
+					if t, ok := eng.ForgetSuccessor(node, s); ok {
+						addEdge(src, lookup(t), true)
+					}
 				}
 			}
 		case treedecomp.Join:
@@ -235,12 +267,17 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 			if off == below {
 				off = nd.Right[node]
 			}
-			group := groupBySignature(eng.Sets[off])
-			for li, s := range uni[j-1] {
+			if p.DecideOnly {
+				consumed = append(consumed, off)
+			}
+			ji.Build(eng.Sets[off].States())
+			for li, s := range uni[j-1].States() {
 				src := offset[j-1] + int32(li)
-				for _, os := range group[s.Signature()] {
-					if t, ok := eng.JoinCombine(s, os); ok {
-						addEdge(src, lookup(t), os.C == 0)
+				lo, hi := ji.Bucket(&s)
+				for t := lo; t < hi; t++ {
+					emitted++
+					if w, ok := eng.JoinCombine(s, *ji.At(t)); ok {
+						addEdge(src, lookup(w), ji.At(t).C == 0)
 					}
 				}
 			}
@@ -249,16 +286,41 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 		}
 	}
 
-	// Shortcut construction (Section 3.3.3) over the forest F.
-	shortcuts := buildShortcuts(forestNext, adj, cfg.ShortcutSpacing)
+	// Shortcut construction (Section 3.3.3) over the forest F. Transition
+	// edges are the DAG-edge count the stats report; the shortcut edges
+	// land in the same flat pair list.
+	edges := int64(len(pairs))
+	shortcuts := buildShortcuts(forestNext, func(src, dst int32) {
+		pairs = append(pairs, uint64(src)<<32|uint64(uint32(dst)))
+	}, cfg.ShortcutSpacing)
+
+	// Compress the pair list to CSR: per-source counting, prefix sum,
+	// scatter.
+	off := make([]int32, V+1)
+	for _, e := range pairs {
+		off[e>>32]++
+	}
+	var sum int32
+	for i := 0; i <= V; i++ {
+		c := off[i]
+		off[i] = sum
+		sum += c
+	}
+	csr := make([]int32, len(pairs))
+	fill := make([]int32, V)
+	for _, e := range pairs {
+		src := e >> 32
+		csr[off[src]+fill[src]] = int32(uint32(e))
+		fill[src]++
+	}
 
 	// Sources: bottom valid states plus every C = ∅ state anywhere.
-	sources := make([]int32, 0, len(uni[0]))
-	for li := range uni[0] {
+	sources := make([]int32, 0, uni[0].Len())
+	for li := 0; li < uni[0].Len(); li++ {
 		sources = append(sources, offset[0]+int32(li))
 	}
 	for j := 1; j < L; j++ {
-		for li, s := range uni[j] {
+		for li, s := range uni[j].States() {
 			if s.C == 0 {
 				sources = append(sources, offset[j]+int32(li))
 			}
@@ -282,7 +344,7 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 			par.For(0, len(frontier), func(i int) {
 				v := frontier[i]
 				var local []int32
-				for _, w := range adj[v] {
+				for _, w := range csr[off[v]:off[v+1]] {
 					if reached[w].CompareAndSwap(false, true) {
 						local = append(local, w)
 					}
@@ -294,7 +356,7 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 			}
 		} else {
 			for _, v := range frontier {
-				for _, w := range adj[v] {
+				for _, w := range csr[off[v]:off[v+1]] {
 					if reached[w].CompareAndSwap(false, true) {
 						next = append(next, w)
 					}
@@ -305,16 +367,37 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 		tr.AddPhaseRounds("pmdag-bfs", 1)
 	}
 	tr.AddPhaseWork("pmdag", edges+int64(V))
+	eng.AddStatesGenerated(emitted)
 
-	// Store valid sets for every node of the path.
+	// Store valid sets for the path's nodes. Level 0 is its own valid set
+	// verbatim (every bottom state is a BFS source); interior levels keep
+	// the reached subset of their universe. DecideOnly retains only the
+	// top — the single set the parent path will consume — and recycles
+	// every scratch universe plus the consumed child sets.
 	for j := 0; j < L; j++ {
-		set := make(map[match.State]struct{})
-		for li, s := range uni[j] {
+		if p.DecideOnly && j < L-1 {
+			continue
+		}
+		if j == 0 {
+			eng.Sets[path[0]] = uni[0]
+			uni[0] = nil // stored, not scratch anymore
+			continue
+		}
+		set := eng.NewSet(uni[j].Len())
+		for li, s := range uni[j].States() {
 			if reached[offset[j]+int32(li)].Load() {
-				set[s] = struct{}{}
+				set.Add(s)
 			}
 		}
 		eng.Sets[path[j]] = set
+	}
+	for j := 0; j < L; j++ {
+		if uni[j] != nil {
+			eng.Recycle(uni[j])
+		}
+	}
+	for _, c := range consumed {
+		eng.RecycleNode(c)
 	}
 	return pathStats{
 		DAGVertices:   int64(V),
@@ -325,29 +408,20 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 	}
 }
 
-func indexStates(states []match.State) map[match.State]int32 {
-	m := make(map[match.State]int32, len(states))
-	for i, s := range states {
-		m[s] = int32(i)
-	}
-	return m
-}
-
 // buildShortcuts decomposes the no-new-match forest into layered paths
 // (Lemma 3.2 again), places hubs every ~log₂(V) positions with shortcut
 // edges of exponentially increasing hub distance, and adds an escape edge
 // from every vertex to the forest-parent of its path's top (the paper's
 // "shortcut from every vertex to the first vertex in a lower layer").
-// Shortcut edges are appended to adj; the count is returned. The added
+// Shortcut edges go through addEdge; the count is returned. The added
 // edge count is O(V): V/log V hubs with log V shortcuts each, plus one
 // escape edge per vertex.
-func buildShortcuts(forestNext []int32, adj [][]int32, spacing int) int64 {
+func buildShortcuts(forestNext []int32, addEdge func(src, dst int32), spacing int) int64 {
 	V := len(forestNext)
 	if V == 0 {
 		return 0
 	}
-	layers := treepath.LayersSequential(forestNext)
-	fpd := treepath.Decompose(forestNext, layers)
+	nodes, starts := forestPaths(forestNext)
 	if spacing <= 0 {
 		spacing = int(math.Ceil(math.Log2(float64(V + 1))))
 	}
@@ -355,7 +429,8 @@ func buildShortcuts(forestNext []int32, adj [][]int32, spacing int) int64 {
 		spacing = 1
 	}
 	var count int64
-	for _, fp := range fpd.Paths {
+	for p := 0; p+1 < len(starts); p++ {
+		fp := nodes[starts[p]:starts[p+1]]
 		l := len(fp)
 		// Hub-to-hub exponential shortcuts.
 		numHubs := (l + spacing - 1) / spacing
@@ -363,7 +438,7 @@ func buildShortcuts(forestNext []int32, adj [][]int32, spacing int) int64 {
 			src := fp[h*spacing]
 			for step := 1; h+step < numHubs; step *= 2 {
 				dst := fp[(h+step)*spacing]
-				adj[src] = append(adj[src], dst)
+				addEdge(src, dst)
 				count++
 			}
 		}
@@ -373,11 +448,90 @@ func buildShortcuts(forestNext []int32, adj [][]int32, spacing int) int64 {
 		if esc >= 0 {
 			for _, v := range fp {
 				if v != top { // top already has the forest edge itself
-					adj[v] = append(adj[v], esc)
+					addEdge(v, esc)
 					count++
 				}
 			}
 		}
 	}
 	return count
+}
+
+// forestPaths is the Lemma 3.2 layered-path decomposition specialized to
+// a parent-pointer forest, replacing the generic treepath machinery
+// (children lists, per-path slices) the shortcut construction used to
+// allocate per path-DAG path. Layers are computed by a Kahn sweep over
+// the parent pointers with per-node (max, unique) aggregates; paths come
+// back bottom-up, packed into one flat node buffer with start offsets
+// (paths are nodes[starts[p]:starts[p+1]]).
+func forestPaths(next []int32) (nodes []int32, starts []int32) {
+	V := len(next)
+	// childCount doubles as the Kahn in-degree; lmax/unique aggregate the
+	// child layers exactly like treepath's sequential post-order.
+	childCount := make([]int32, V)
+	for _, p := range next {
+		if p >= 0 {
+			childCount[p]++
+		}
+	}
+	layers := make([]int32, V)
+	lmax := make([]int32, V)
+	for i := range lmax {
+		lmax[i] = -1
+	}
+	unique := make([]bool, V)
+	queue := make([]int32, 0, V)
+	for v := 0; v < V; v++ {
+		if childCount[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		switch {
+		case lmax[v] < 0:
+			layers[v] = 0
+		case unique[v]:
+			layers[v] = lmax[v]
+		default:
+			layers[v] = lmax[v] + 1
+		}
+		if p := next[v]; p >= 0 {
+			switch {
+			case layers[v] > lmax[p]:
+				lmax[p], unique[p] = layers[v], true
+			case layers[v] == lmax[p]:
+				unique[p] = false
+			}
+			childCount[p]--
+			if childCount[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	// A node is a path bottom iff no child shares its layer.
+	hasEqChild := make([]bool, V)
+	for v, p := range next {
+		if p >= 0 && layers[p] == layers[int32(v)] {
+			hasEqChild[p] = true
+		}
+	}
+	nodes = make([]int32, 0, V)
+	starts = append(starts, 0)
+	for v := 0; v < V; v++ {
+		if hasEqChild[v] {
+			continue
+		}
+		u := int32(v)
+		for {
+			nodes = append(nodes, u)
+			p := next[u]
+			if p < 0 || layers[p] != layers[u] {
+				break
+			}
+			u = p
+		}
+		starts = append(starts, int32(len(nodes)))
+	}
+	return nodes, starts
 }

@@ -47,11 +47,11 @@ func TestAgreesWithSequentialEngine(t *testing.T) {
 			t.Fatalf("trial %d: decision differs: seq=%v dag=%v", trial, seq.Found(), parr.Found())
 		}
 		for i := range seq.Sets {
-			if len(seq.Sets[i]) != len(parr.Sets[i]) {
-				t.Fatalf("trial %d: node %d: %d vs %d states", trial, i, len(seq.Sets[i]), len(parr.Sets[i]))
+			if seq.Sets[i].Len() != parr.Sets[i].Len() {
+				t.Fatalf("trial %d: node %d: %d vs %d states", trial, i, seq.Sets[i].Len(), parr.Sets[i].Len())
 			}
-			for s := range seq.Sets[i] {
-				if _, ok := parr.Sets[i][s]; !ok {
+			for _, s := range seq.Sets[i].States() {
+				if !parr.Sets[i].Contains(s) {
 					t.Fatalf("trial %d: node %d: state missing in DAG engine", trial, i)
 				}
 			}
@@ -164,8 +164,8 @@ func TestRunConfigDenseAgrees(t *testing.T) {
 		t.Fatal("configurations disagree on the decision")
 	}
 	for i := range def.Sets {
-		if len(def.Sets[i]) != len(dense.Sets[i]) {
-			t.Fatalf("node %d: %d vs %d states", i, len(def.Sets[i]), len(dense.Sets[i]))
+		if def.Sets[i].Len() != dense.Sets[i].Len() {
+			t.Fatalf("node %d: %d vs %d states", i, def.Sets[i].Len(), dense.Sets[i].Len())
 		}
 	}
 	if denseStats.ShortcutEdges <= defStats.ShortcutEdges {

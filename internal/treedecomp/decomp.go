@@ -14,6 +14,7 @@ package treedecomp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"planarsi/internal/graph"
@@ -162,7 +163,7 @@ func Build(g *graph.Graph, h Heuristic) *Decomposition {
 		for w := range adj[v] {
 			nbrs = append(nbrs, w)
 		}
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs) // no reflection Swapper: this runs once per eliminated vertex
 		nbrAt[v] = nbrs
 		// Fill in: neighbors become a clique.
 		for i := 0; i < len(nbrs); i++ {
@@ -189,7 +190,7 @@ func Build(g *graph.Graph, h Heuristic) *Decomposition {
 	var roots []int32
 	for v := 0; v < n; v++ {
 		bag := append([]int32{int32(v)}, nbrAt[v]...)
-		sort.Slice(bag, func(i, j int) bool { return bag[i] < bag[j] })
+		slices.Sort(bag)
 		bags[v] = bag
 		parent[v] = -1
 		bestPos := int32(1 << 30)
