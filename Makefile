@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check ci vet build test race bench bench-index benchstat bench-smoke
+.PHONY: check ci vet build test race bench bench-index bench-serve benchstat bench-smoke serve-smoke fuzz-gio
 
 check: vet build test race
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag
+	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -32,6 +32,19 @@ bench:
 # The headline Index comparison: batched Scan vs independent Decide calls.
 bench-index:
 	$(GO) test -bench=BenchmarkIndexScan -run '^$$' -benchtime 10x .
+
+# The serving-layer load comparison: coalesced micro-batched serving vs
+# per-request Index construction on warm repeated patterns.
+bench-serve:
+	$(GO) test -bench=BenchmarkServeLoad -run '^$$' -benchtime 200x .
+
+# Boot the planarsid daemon, fire a scripted curl burst, check answers.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Fuzz the network-facing edge-list parser for a short budget.
+fuzz-gio:
+	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/gio
 
 # benchstat-ready runs of the perf-tracked benchmarks: the Table 1
 # decision pipeline (root package) and the flat state-set

@@ -13,11 +13,14 @@ package planarsi_test
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"planarsi"
 	"planarsi/internal/colorcode"
 	"planarsi/internal/conn"
+	"planarsi/internal/core"
 	"planarsi/internal/cover"
 	"planarsi/internal/estc"
 	"planarsi/internal/flow"
@@ -25,6 +28,7 @@ import (
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
 	"planarsi/internal/pmdag"
+	"planarsi/internal/serve"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/wd"
 )
@@ -458,6 +462,76 @@ func BenchmarkIndexScan(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			check(b, ix.Scan(patterns))
 		}
+	})
+}
+
+// BenchmarkServeLoad is the serving-layer load benchmark: concurrent
+// clients firing repeated (warm) pattern queries against one resident
+// host graph. The coalesced path is the planarsid architecture — a
+// registry-owned shared Index behind the micro-batching scheduler, so
+// requests landing in one window share a single Scan — while the
+// perRequest path is what a stateless server does: build an Index (and
+// with it all target-side preprocessing) per request. Both paths assert
+// their answers against the direct API.
+func BenchmarkServeLoad(b *testing.B) {
+	rng := rand.New(rand.NewPCG(12, 34))
+	g := graph.RandomPlanar(1<<11, 0.7, rng)
+	patterns := indexBenchBatch()
+	opt := planarsi.Options{Seed: 1, MaxRuns: 8}
+	want := make([]bool, len(patterns))
+	for i, h := range patterns {
+		var err error
+		if want[i], err = planarsi.Decide(g, h, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("coalesced", func(b *testing.B) {
+		reg := serve.NewRegistry(serve.RegistryOptions{Pipeline: core.Options{Seed: 1, MaxRuns: 8}})
+		e, err := reg.Register("g", g, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := serve.NewScheduler(serve.SchedulerOptions{Window: 500 * time.Microsecond})
+		var next atomic.Int64
+		b.SetParallelism(8) // 8 concurrent clients per core: load to coalesce
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1)-1) % len(patterns)
+				res, err := sched.Submit(e, serve.KindDecide, patterns[i])
+				if err != nil || res.Err != nil {
+					b.Errorf("submit: %v / %v", err, res.Err)
+					return
+				}
+				if res.Found != want[i] {
+					b.Errorf("pattern %d: got %v, want %v", i, res.Found, want[i])
+					return
+				}
+			}
+		})
+		st := sched.Stats()
+		if st.Batches > 0 {
+			b.ReportMetric(float64(st.Requests)/float64(st.Batches), "req/batch")
+		}
+	})
+	b.Run("perRequest", func(b *testing.B) {
+		var next atomic.Int64
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1)-1) % len(patterns)
+				ix := planarsi.NewIndex(g, opt)
+				found, err := ix.Decide(patterns[i])
+				if err != nil {
+					b.Errorf("decide: %v", err)
+					return
+				}
+				if found != want[i] {
+					b.Errorf("pattern %d: got %v, want %v", i, found, want[i])
+					return
+				}
+			}
+		})
 	})
 }
 

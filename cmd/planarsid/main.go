@@ -1,0 +1,129 @@
+// Command planarsid is the long-lived query daemon: it serves the
+// paper's planar subgraph isomorphism and vertex connectivity pipeline
+// over HTTP/JSON, keeping host graphs resident in a registry of
+// planarsi Indexes so every query amortizes the shared target-side
+// preprocessing, and coalescing concurrent queries into micro-batches.
+//
+//	planarsid -addr :8080 -graph city=city.edges -graph grid=grid.edges
+//
+// Endpoints (JSON bodies unless noted):
+//
+//	POST   /graphs/{name}   register a host graph (edge-list text body,
+//	                        or {"n":..,"edges":[[u,v],..]} as JSON)
+//	GET    /graphs          list registered graphs with cache stats
+//	DELETE /graphs/{name}   remove a graph
+//	POST   /decide          {"graph":"g","pattern":{...}} -> {"found":..}
+//	POST   /count           like decide, plus "count"
+//	POST   /find            one witness occurrence, if any
+//	POST   /separating      adds "terminals":[v,..]; witness occurrence
+//	POST   /connectivity    {"graph":"g"} -> {"connectivity":..,"cut":..}
+//	GET    /stats           registry, scheduler and endpoint counters
+//	GET    /healthz         liveness probe
+//
+// Graphs preloaded with -graph are pinned: the memory budget may shed
+// their cached artifacts but never unregisters them. Decide/count
+// queries arriving within -window of each other against the same graph
+// are coalesced into one batched scan. SIGINT/SIGTERM shut down
+// gracefully, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"planarsi/internal/core"
+	"planarsi/internal/gio"
+	"planarsi/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	seed := flag.Uint64("seed", 1, "random seed fixed for every query")
+	runs := flag.Int("runs", 0, "cover repetitions (0 = w.h.p. default)")
+	memMB := flag.Int64("mem-mb", 1024, "memory budget for graphs + cached artifacts, in MiB (0 = unlimited)")
+	window := flag.Duration("window", 2*time.Millisecond, "micro-batching window for decide/count (0 disables coalescing)")
+	maxBatch := flag.Int("max-batch", 64, "dispatch a batch early at this size")
+	inflight := flag.Int("inflight", 0, "max concurrently executing batches (0 = parallelism)")
+	maxQueued := flag.Int("max-queued", 4096, "queued-request bound before 503s")
+	maxGraphN := flag.Int("max-graph-n", 1<<21, "largest accepted graph (vertices)")
+	var preload []string
+	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
+		preload = append(preload, v)
+		return nil
+	})
+	flag.Parse()
+
+	if *window == 0 {
+		*window = -1 // flag 0 means "no coalescing" (negative internally)
+	}
+	srv := serve.New(serve.Options{
+		Pipeline: core.Options{Seed: *seed, MaxRuns: *runs},
+		MaxBytes: *memMB << 20,
+		Scheduler: serve.SchedulerOptions{
+			Window:      *window,
+			MaxBatch:    *maxBatch,
+			MaxInFlight: *inflight,
+			MaxQueued:   *maxQueued,
+		},
+		MaxGraphVertices: *maxGraphN,
+	})
+
+	for _, spec := range preload {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("planarsid: -graph wants name=file, got %q", spec)
+		}
+		g, err := gio.ReadEdgeListFile(path)
+		if err != nil {
+			log.Fatalf("planarsid: graph %s: %v", name, err)
+		}
+		if _, err := srv.Registry().Register(name, g, true); err != nil {
+			log.Fatalf("planarsid: %v", err)
+		}
+		log.Printf("planarsid: loaded graph %s (n=%d m=%d) from %s", name, g.N(), g.M(), path)
+	}
+	if st := srv.Stats().Registry; st.MaxBytes > 0 && st.Bytes > st.MaxBytes {
+		log.Printf("planarsid: warning: preloaded graphs hold %d MiB, over the %d MiB budget — pinned graphs are never evicted, so the budget cannot be enforced",
+			st.Bytes>>20, st.MaxBytes>>20)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("planarsid: %v", err)
+	}
+	// The resolved address line doubles as the readiness signal for
+	// scripts (see make serve-smoke).
+	log.Printf("planarsid: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("planarsid: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("planarsid: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("planarsid: shutdown: %v", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "planarsid: served %d requests in %d batches (%d rejected)\n",
+		st.Scheduler.Requests, st.Scheduler.Batches, st.Scheduler.Rejected)
+}

@@ -10,6 +10,10 @@
 //	planarvc -gen icosahedron              # connectivity 5
 //	planarvc -input g.edges                # embed automatically
 //	planarvc -input g.edges -coords g.xy   # use the given drawing
+//	cat g.edges | planarvc -input -        # edge list on stdin
+//
+// The path "-" reads standard input (for -input or -coords, not both).
+// Parse errors abort with exit status 2 before any output is printed.
 //
 // Generated families: path, cycle, star, wheel, grid, bipyramid,
 // apollonian, randomplanar, tetrahedron, cube, octahedron, dodecahedron,
@@ -31,8 +35,8 @@ import (
 func main() {
 	gen := flag.String("gen", "", "generated family (see package comment)")
 	n := flag.Int("n", 100, "size for generated families")
-	input := flag.String("input", "", "edge-list file (needs -coords)")
-	coords := flag.String("coords", "", "coordinates file ('v x y' lines)")
+	input := flag.String("input", "", "edge-list file, or - for stdin")
+	coords := flag.String("coords", "", "coordinates file ('v x y' lines), or - for stdin")
 	seed := flag.Uint64("seed", 1, "random seed")
 	oracle := flag.Bool("oracle", false, "cross-check with the max-flow baseline")
 	stats := flag.Bool("stats", false, "print work/depth statistics to stderr")

@@ -9,15 +9,19 @@
 //	subiso -target g.edges -pattern h.edges -mode list      # all occurrences
 //	subiso -target g.edges -pattern h.edges -mode count
 //	subiso -target g.edges -pattern h1.edges,h2.edges,...   # batched scan
+//	cat g.edges | subiso -target - -pattern h.edges         # target on stdin
 //
 // All files use the edge-list format: one "u v" pair per line, '#'
-// comments, optional "n <count>" header. Patterns may be disconnected in
+// comments, optional "n <count>" header; the path "-" reads standard
+// input (for at most one of the inputs). Patterns may be disconnected in
 // decide mode. -pattern accepts a comma-separated list; the target is
 // preprocessed once (planarsi.Index) and shared by every query. Decide
 // and count batches run concurrently over the shared decompositions
 // (Index.Scan/ScanCount); find and list answer patterns one at a time,
-// still reusing the Index. One line is printed per pattern. With -stats,
-// work/depth counters and pipeline statistics are printed to stderr.
+// still reusing the Index. One line is printed per pattern. Errors abort
+// the run with a nonzero exit before any result is printed — a failing
+// batch never produces partial output. With -stats, work/depth counters
+// and pipeline statistics are printed to stderr.
 package main
 
 import (
@@ -31,8 +35,8 @@ import (
 )
 
 func main() {
-	target := flag.String("target", "", "target graph edge-list file (required)")
-	pattern := flag.String("pattern", "", "pattern edge-list file(s), comma-separated (required)")
+	target := flag.String("target", "", "target graph edge-list file, or - for stdin (required)")
+	pattern := flag.String("pattern", "", "pattern edge-list file(s), comma-separated, - for stdin (required)")
 	mode := flag.String("mode", "decide", "decide | find | list | count")
 	seed := flag.Uint64("seed", 1, "random seed")
 	runs := flag.Int("runs", 0, "cover repetitions (0 = w.h.p. default)")
@@ -43,11 +47,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	files := strings.Split(*pattern, ",")
+	stdins := 0
+	for _, f := range append([]string{*target}, files...) {
+		if f == "-" {
+			stdins++
+		}
+	}
+	if stdins > 1 {
+		fatal("only one input may be stdin (-)")
+	}
 	g, err := gio.ReadEdgeListFile(*target)
 	if err != nil {
 		fatal("target: %v", err)
 	}
-	files := strings.Split(*pattern, ",")
 	hs := make([]*planarsi.Graph, len(files))
 	for i, f := range files {
 		if hs[i], err = gio.ReadEdgeListFile(f); err != nil {
@@ -67,24 +80,34 @@ func main() {
 	ix := planarsi.NewIndex(g, opt)
 	batch := len(hs) > 1
 
+	// Results are buffered and only printed once the whole batch has
+	// succeeded, so a failing pattern aborts with exit 2 and no partial
+	// output.
+	var out strings.Builder
 	exit := 0
 	switch *mode {
 	case "decide":
-		for i, res := range ix.Scan(hs) {
+		results := ix.Scan(hs)
+		for i, res := range results {
 			if res.Err != nil {
 				fatal("%s: %v", files[i], res.Err)
 			}
-			printBatch(batch, files[i], res.Found)
+		}
+		for i, res := range results {
+			printBatch(&out, batch, files[i], res.Found)
 			if !res.Found {
 				exit = 1
 			}
 		}
 	case "count":
-		for i, res := range ix.ScanCount(hs) {
+		results := ix.ScanCount(hs)
+		for i, res := range results {
 			if res.Err != nil {
 				fatal("%s: %v", files[i], res.Err)
 			}
-			printBatch(batch, files[i], res.Count)
+		}
+		for i, res := range results {
+			printBatch(&out, batch, files[i], res.Count)
 		}
 	case "find":
 		for i, h := range hs {
@@ -93,14 +116,14 @@ func main() {
 				fatal("%s: %v", files[i], err)
 			}
 			if occ == nil {
-				printBatch(batch, files[i], "not found")
+				printBatch(&out, batch, files[i], "not found")
 				exit = 1
 				continue
 			}
 			if batch {
-				fmt.Printf("%s: ", files[i])
+				fmt.Fprintf(&out, "%s: ", files[i])
 			}
-			printOccurrence(occ)
+			printOccurrence(&out, occ)
 		}
 	case "list":
 		for i, h := range hs {
@@ -110,34 +133,35 @@ func main() {
 			}
 			for _, occ := range occs {
 				if batch {
-					fmt.Printf("%s: ", files[i])
+					fmt.Fprintf(&out, "%s: ", files[i])
 				}
-				printOccurrence(occ)
+				printOccurrence(&out, occ)
 			}
 		}
 	default:
 		fatal("unknown mode %q", *mode)
 	}
+	fmt.Print(out.String())
 	report(opt, st)
 	os.Exit(exit)
 }
 
-func printBatch(batch bool, file string, v any) {
+func printBatch(out *strings.Builder, batch bool, file string, v any) {
 	if batch {
-		fmt.Printf("%s: %v\n", file, v)
+		fmt.Fprintf(out, "%s: %v\n", file, v)
 	} else {
-		fmt.Println(v)
+		fmt.Fprintln(out, v)
 	}
 }
 
-func printOccurrence(occ planarsi.Occurrence) {
+func printOccurrence(out *strings.Builder, occ planarsi.Occurrence) {
 	for u, v := range occ {
 		if u > 0 {
-			fmt.Print(" ")
+			fmt.Fprint(out, " ")
 		}
-		fmt.Printf("%d->%d", u, v)
+		fmt.Fprintf(out, "%d->%d", u, v)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func report(opt planarsi.Options, st planarsi.Stats) {

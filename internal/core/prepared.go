@@ -87,6 +87,27 @@ type PreparedCover struct {
 	Bands []PreparedBand
 }
 
+// MemBytes returns the approximate heap footprint of the prepared band:
+// the cover band plus its nice decomposition.
+func (pb *PreparedBand) MemBytes() int64 {
+	b := pb.Band.MemBytes()
+	if pb.ND != nil {
+		b += pb.ND.MemBytes()
+	}
+	return b
+}
+
+// MemBytes returns the approximate heap footprint of the prepared cover in
+// bytes. The clustering that induced the cover is excluded: caches share
+// one clustering across many covers and account for it separately.
+func (pc *PreparedCover) MemBytes() int64 {
+	var b int64
+	for i := range pc.Bands {
+		b += pc.Bands[i].MemBytes()
+	}
+	return b
+}
+
 // prepare decomposes every band of cov in parallel.
 func prepare(cov *cover.Cover, opt Options) *PreparedCover {
 	pc := &PreparedCover{Cover: cov, Bands: make([]PreparedBand, len(cov.Bands))}

@@ -56,6 +56,13 @@ type Band struct {
 	LowestLevelLocal []bool
 }
 
+// MemBytes returns the approximate heap footprint of the band in bytes:
+// the band graph plus the Orig map and vertex marks.
+func (b *Band) MemBytes() int64 {
+	return b.G.MemBytes() + int64(cap(b.Orig))*4 +
+		int64(cap(b.Allowed)+cap(b.S)+cap(b.LowestLevelLocal))
+}
+
 // Cover is a set of bands plus the clustering that produced them.
 type Cover struct {
 	Bands      []*Band

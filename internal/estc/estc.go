@@ -43,6 +43,12 @@ type Clustering struct {
 // NumClusters returns the number of clusters.
 func (c *Clustering) NumClusters() int { return len(c.Center) }
 
+// MemBytes returns the approximate heap footprint of the clustering in
+// bytes (cache accounting for the serving layer's memory budget).
+func (c *Clustering) MemBytes() int64 {
+	return int64(cap(c.Owner))*4 + int64(cap(c.Center))*4
+}
+
 // CrossingEdges counts edges whose endpoints lie in different clusters.
 func (c *Clustering) CrossingEdges(g *graph.Graph) int {
 	count := 0

@@ -1,0 +1,81 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList fuzzes the edge-list parser, which the planarsid
+// daemon exposes to the network (graph registration bodies). The parser
+// must never panic, must reject anything that would overflow the int32
+// vertex ids or blow past the vertex limit, and on success must produce a
+// simple graph that round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	for _, seed := range []string{
+		"0 1\n1 2\n2 0\n",
+		"# comment\n\nn 5\n0 1\n",
+		"n -1\n",
+		"n 99999999999999999999\n",
+		"n 2147483647\n",
+		"n\n",
+		"n 5 7\n",
+		"0 1 2\n",
+		"a b\n",
+		"1 1\n",
+		"-3 4\n",
+		"2147483648 0\n",
+		"2147483646 0\n",
+		"0 99999999999999999999\n",
+		"n 10\n0 1\n0 1\n1 0\n",
+		"0 1\r\n1 2\r\n",
+		"\x00\x01",
+		"0 1\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeListLimit(bytes.NewReader(data), limit)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("non-nil graph alongside error %v", err)
+			}
+			return
+		}
+		n := g.N()
+		if n > limit {
+			t.Fatalf("graph has %d vertices, limit %d", n, limit)
+		}
+		seen := make(map[[2]int32]bool)
+		for _, e := range g.Edges() {
+			if e[0] == e[1] {
+				t.Fatalf("self-loop at %d", e[0])
+			}
+			if e[0] < 0 || e[1] < 0 || int(e[0]) >= n || int(e[1]) >= n {
+				t.Fatalf("edge %v out of range [0, %d)", e, n)
+			}
+			if seen[e] {
+				t.Fatalf("parallel edge %v", e)
+			}
+			seen[e] = true
+		}
+		// Round trip: writing and re-reading must reproduce the graph.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := ReadEdgeListLimit(strings.NewReader(buf.String()), limit)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if g2.N() != n || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: n %d->%d, m %d->%d", n, g2.N(), g.M(), g2.M())
+		}
+		for _, e := range g2.Edges() {
+			if !seen[e] {
+				t.Fatalf("round trip invented edge %v", e)
+			}
+		}
+	})
+}

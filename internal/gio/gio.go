@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -22,24 +23,47 @@ import (
 
 // ReadEdgeList parses an edge list from r.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
-	edges, n, err := scanEdges(r)
+	return ReadEdgeListLimit(r, 0)
+}
+
+// ReadEdgeListLimit parses an edge list from r, rejecting inputs that
+// declare or imply more than maxVertices vertices (0 means no limit).
+// Network-facing callers (the planarsid daemon) use the limit so a short
+// hostile input — e.g. a huge "n <count>" header — cannot force a huge
+// allocation.
+func ReadEdgeListLimit(r io.Reader, maxVertices int) (*graph.Graph, error) {
+	edges, n, err := scanEdges(r, maxVertices)
 	if err != nil {
 		return nil, err
 	}
+	return buildDeduped(n, edges).Build(), nil
+}
+
+// buildDeduped fills a builder from edges, tolerating duplicate lines.
+// Deduplication uses a set rather than Builder.HasEdge's adjacency scan:
+// the parser is network-facing (planarsid graph registration), where a
+// dense body would otherwise cost sum-of-degrees time.
+func buildDeduped(n int, edges [][2]int32) *graph.Builder {
 	b := graph.NewBuilder(n)
+	seen := make(map[[2]int32]struct{}, len(edges))
 	for _, e := range edges {
-		if b.HasEdge(e[0], e[1]) {
-			continue // tolerate duplicate lines
+		k := e
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
 		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
 		b.AddEdge(e[0], e[1])
 	}
-	return b.Build(), nil
+	return b
 }
 
 // ReadEmbedded parses an edge list and a coordinates file and returns the
 // embedded graph.
 func ReadEmbedded(edgeR, coordR io.Reader) (*graph.Graph, error) {
-	edges, n, err := scanEdges(edgeR)
+	edges, n, err := scanEdges(edgeR, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -77,22 +101,24 @@ func ReadEmbedded(edgeR, coordR io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("gio: vertex %d has no coordinates", v)
 		}
 	}
-	b := graph.NewBuilder(n)
-	for _, e := range edges {
-		if b.HasEdge(e[0], e[1]) {
-			continue
-		}
-		b.AddEdge(e[0], e[1])
-	}
-	return b.BuildEmbedded(x, y), nil
+	return buildDeduped(n, edges).BuildEmbedded(x, y), nil
 }
 
-func scanEdges(r io.Reader) ([][2]int32, int, error) {
+// maxVertexID bounds vertex ids so that id+1 still fits an int32: ids are
+// stored as int32 throughout the repository, and without the bound a
+// 64-bit id like 2^31 would silently wrap negative in the conversion.
+const maxVertexID = math.MaxInt32 - 1
+
+func scanEdges(r io.Reader, maxVertices int) ([][2]int32, int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges [][2]int32
 	n := 0
 	line := 0
+	limit := maxVertexID + 1
+	if maxVertices > 0 && maxVertices < limit {
+		limit = maxVertices
+	}
 	for sc.Scan() {
 		line++
 		fields := strings.Fields(strings.TrimSpace(sc.Text()))
@@ -104,6 +130,9 @@ func scanEdges(r io.Reader) ([][2]int32, int, error) {
 			if err != nil || declared < 0 {
 				return nil, 0, fmt.Errorf("gio: line %d: bad vertex count", line)
 			}
+			if declared > limit {
+				return nil, 0, fmt.Errorf("gio: line %d: vertex count %d exceeds limit %d", line, declared, limit)
+			}
 			if declared > n {
 				n = declared
 			}
@@ -113,15 +142,18 @@ func scanEdges(r io.Reader) ([][2]int32, int, error) {
 			return nil, 0, fmt.Errorf("gio: line %d: want 'u v'", line)
 		}
 		u, err := strconv.Atoi(fields[0])
-		if err != nil || u < 0 {
+		if err != nil || u < 0 || u > maxVertexID {
 			return nil, 0, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[0])
 		}
 		v, err := strconv.Atoi(fields[1])
-		if err != nil || v < 0 {
+		if err != nil || v < 0 || v > maxVertexID {
 			return nil, 0, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[1])
 		}
 		if u == v {
 			return nil, 0, fmt.Errorf("gio: line %d: self-loop at %d", line, u)
+		}
+		if u >= limit || v >= limit {
+			return nil, 0, fmt.Errorf("gio: line %d: vertex id %d exceeds limit %d", line, max(u, v), limit)
 		}
 		edges = append(edges, [2]int32{int32(u), int32(v)})
 		if u+1 > n {
@@ -137,8 +169,12 @@ func scanEdges(r io.Reader) ([][2]int32, int, error) {
 	return edges, n, nil
 }
 
-// ReadEdgeListFile reads an edge-list file by path.
+// ReadEdgeListFile reads an edge-list file by path; the path "-" reads
+// standard input.
 func ReadEdgeListFile(path string) (*graph.Graph, error) {
+	if path == "-" {
+		return ReadEdgeList(os.Stdin)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -147,18 +183,30 @@ func ReadEdgeListFile(path string) (*graph.Graph, error) {
 	return ReadEdgeList(f)
 }
 
-// ReadEmbeddedFile reads an edge-list file plus a coordinates file.
+// ReadEmbeddedFile reads an edge-list file plus a coordinates file. One of
+// the two paths (not both) may be "-" for standard input.
 func ReadEmbeddedFile(edgePath, coordPath string) (*graph.Graph, error) {
-	ef, err := os.Open(edgePath)
-	if err != nil {
-		return nil, err
+	if edgePath == "-" && coordPath == "-" {
+		return nil, fmt.Errorf("gio: only one input may be stdin")
 	}
-	defer ef.Close()
-	cf, err := os.Open(coordPath)
-	if err != nil {
-		return nil, err
+	ef := io.Reader(os.Stdin)
+	if edgePath != "-" {
+		f, err := os.Open(edgePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ef = f
 	}
-	defer cf.Close()
+	cf := io.Reader(os.Stdin)
+	if coordPath != "-" {
+		f, err := os.Open(coordPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cf = f
+	}
 	return ReadEmbedded(ef, cf)
 }
 

@@ -93,6 +93,14 @@ func (g *Graph) Edges() [][2]int32 {
 	return out
 }
 
+// MemBytes returns the approximate heap footprint of the graph's backing
+// arrays in bytes. Serving-layer memory budgets are enforced against this
+// estimate.
+func (g *Graph) MemBytes() int64 {
+	return int64(cap(g.off))*4 + int64(cap(g.adj))*4 +
+		int64(cap(g.x))*8 + int64(cap(g.y))*8
+}
+
 // IsComplete reports whether every pair of vertices is adjacent.
 func (g *Graph) IsComplete() bool {
 	n := g.N()

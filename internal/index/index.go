@@ -34,6 +34,7 @@ package index
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"planarsi/internal/core"
 	"planarsi/internal/estc"
@@ -50,10 +51,17 @@ type Index struct {
 	opt core.Options
 
 	// embedOnce computes the target's planar embedding at most once
-	// (queries do not need it, so it is lazy).
-	embedOnce sync.Once
-	embedded  *graph.Graph
-	embedErr  error
+	// (queries do not need it, so it is lazy). embedBytes publishes the
+	// embedded copy's footprint for Stats once the build completes.
+	embedOnce  sync.Once
+	embedded   *graph.Graph
+	embedErr   error
+	embedBytes atomic.Int64
+
+	// queries counts answered queries (one per pattern, including each
+	// pattern of a batched scan) for the Index's whole lifetime; Reset
+	// does not clear it.
+	queries atomic.Uint64
 
 	mu       sync.Mutex
 	clusters map[clusterKey]*clusterEntry
@@ -77,14 +85,24 @@ type sepKey struct {
 	s string
 }
 
+// clusterEntry is a memoized clustering. The builder publishes bytes
+// before flipping done, so readers that observe done may read bytes (and
+// cl) without holding the entry's once.
 type clusterEntry struct {
-	once sync.Once
-	cl   *estc.Clustering
+	once  sync.Once
+	cl    *estc.Clustering
+	bytes int64
+	done  atomic.Bool
 }
 
+// coverEntry is a memoized prepared cover, with its footprint published
+// on completion (see clusterEntry).
 type coverEntry struct {
-	once sync.Once
-	pc   *core.PreparedCover
+	once  sync.Once
+	pc    *core.PreparedCover
+	bytes int64
+	bands int
+	done  atomic.Bool
 }
 
 // New builds an Index over the target g with the given pipeline options.
@@ -110,6 +128,9 @@ func (ix *Index) Graph() *graph.Graph { return ix.g }
 func (ix *Index) embed() {
 	ix.embedOnce.Do(func() {
 		ix.embedded, ix.embedErr = planarity.Embed(ix.g)
+		if ix.embedded != nil && ix.embedded != ix.g {
+			ix.embedBytes.Store(ix.embedded.MemBytes())
+		}
 	})
 }
 
@@ -142,6 +163,8 @@ func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 	ix.mu.Unlock()
 	e.once.Do(func() {
 		e.cl = core.ClusterRun(ix.g, beta, run, ix.opt)
+		e.bytes = e.cl.MemBytes()
+		e.done.Store(true)
 	})
 	return e.cl
 }
@@ -170,6 +193,9 @@ func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
 	e.once.Do(func() {
 		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
 		e.pc = core.PrepareFromClustering(ix.g, cl, k, d, ix.opt)
+		e.bytes = e.pc.MemBytes()
+		e.bands = len(e.pc.Bands)
+		e.done.Store(true)
 	})
 	return e.pc
 }
@@ -189,6 +215,9 @@ func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover
 	e.once.Do(func() {
 		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
 		e.pc = core.PrepareSeparatingFromClustering(ix.g, cl, s, k, d, ix.opt)
+		e.bytes = e.pc.MemBytes()
+		e.bands = len(e.pc.Bands)
+		e.done.Store(true)
 	})
 	return e.pc
 }
@@ -208,24 +237,28 @@ func packMask(s []bool) string {
 // equal core.Decide's for the Index's Options: true answers are exact,
 // false answers hold w.h.p.
 func (ix *Index) Decide(h *graph.Graph) (bool, error) {
+	ix.queries.Add(1)
 	return core.DecideFrom(ix, ix.g, h, ix.opt)
 }
 
 // FindOccurrence returns one occurrence of the connected pattern h, or
 // nil when none was found within the run budget.
 func (ix *Index) FindOccurrence(h *graph.Graph) (core.Occurrence, error) {
+	ix.queries.Add(1)
 	return core.FindOneFrom(ix, ix.g, h, ix.opt)
 }
 
 // ListOccurrences returns (w.h.p.) every occurrence of the connected
 // pattern h, deduplicated (Theorem 4.2 stopping rule).
 func (ix *Index) ListOccurrences(h *graph.Graph) ([]core.Occurrence, error) {
+	ix.queries.Add(1)
 	return core.ListFrom(ix, ix.g, h, ix.opt)
 }
 
 // CountOccurrences returns (w.h.p.) the number of occurrences of the
 // connected pattern h.
 func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
+	ix.queries.Add(1)
 	return core.CountFrom(ix, ix.g, h, ix.opt)
 }
 
@@ -233,6 +266,7 @@ func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
 // whose removal disconnects at least two vertices of the terminal set s
 // (Lemma 5.3), returning a witness occurrence or nil.
 func (ix *Index) DecideSeparating(h *graph.Graph, s []bool) (core.Occurrence, error) {
+	ix.queries.Add(1)
 	return core.DecideSeparatingFrom(ix, ix.g, h, s, ix.opt)
 }
 
@@ -282,6 +316,66 @@ func (ix *Index) Prewarm(k, d int) {
 	par.ForGrain(0, runs, 1, func(run int) {
 		ix.Prepared(k, d, run)
 	})
+}
+
+// Stats is a point-in-time snapshot of an Index's cache contents, memory
+// footprint and query traffic. The serving layer's LRU eviction charges an
+// Index MemBytes + GraphBytes against its memory budget.
+type Stats struct {
+	// Clusterings, PlainCovers and SeparatingCovers count fully built
+	// memoized artifacts (artifacts still under construction are
+	// excluded, so counts and bytes always describe completed state).
+	Clusterings      int `json:"clusterings"`
+	PlainCovers      int `json:"plainCovers"`
+	SeparatingCovers int `json:"separatingCovers"`
+	// Bands is the total number of prepared band decompositions across
+	// the cached covers.
+	Bands int `json:"bands"`
+	// MemBytes approximates the heap held by the cached artifacts Reset
+	// can reclaim (clusterings + prepared covers), excluding the target
+	// graph and its embedding.
+	MemBytes int64 `json:"memBytes"`
+	// GraphBytes approximates the heap held by the target graph itself,
+	// plus its cached planar embedding once one has been computed. The
+	// embedding lives for the Index's lifetime (Reset does not drop it),
+	// so eviction policies must treat these bytes as irreducible.
+	GraphBytes int64 `json:"graphBytes"`
+	// Queries counts queries answered over the Index's lifetime (each
+	// pattern of a batched scan counts once); Reset does not clear it.
+	Queries uint64 `json:"queries"`
+}
+
+// Stats returns a snapshot of the Index's cache accounting. Only fully
+// built artifacts are counted, so MemBytes equals the sum of MemBytes over
+// the artifacts a caller could obtain from the cache right now.
+func (ix *Index) Stats() Stats {
+	st := Stats{
+		GraphBytes: ix.g.MemBytes() + ix.embedBytes.Load(),
+		Queries:    ix.queries.Load(),
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.clusters {
+		if e.done.Load() {
+			st.Clusterings++
+			st.MemBytes += e.bytes
+		}
+	}
+	for _, e := range ix.plain {
+		if e.done.Load() {
+			st.PlainCovers++
+			st.Bands += e.bands
+			st.MemBytes += e.bytes
+		}
+	}
+	for _, e := range ix.sep {
+		if e.done.Load() {
+			st.SeparatingCovers++
+			st.Bands += e.bands
+			st.MemBytes += e.bytes
+		}
+	}
+	return st
 }
 
 // CachedCovers reports how many prepared covers (plain + separating) are

@@ -18,24 +18,72 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// procs is the number of worker slots used by the package-level engine.
-var procs = runtime.GOMAXPROCS(0)
-
-// sem holds the spare worker slots. The calling goroutine always works too,
-// so there are procs-1 spare slots.
-var sem = make(chan struct{}, maxInt(procs-1, 0))
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+// engine is one sizing of the package-level runtime: a worker count and
+// the semaphore of spare worker slots (the calling goroutine always works
+// too, so there are procs-1 spare slots). Engines are immutable; resizing
+// installs a fresh engine, and operations in flight keep the engine they
+// captured at entry, so every acquire is released on the same channel.
+type engine struct {
+	procs int
+	sem   chan struct{}
+	// pinned marks an engine installed by SetParallelism: current() stops
+	// tracking runtime.GOMAXPROCS until SetParallelism(0) unpins.
+	pinned bool
 }
 
-// Parallelism reports the number of workers the package-level engine uses.
-func Parallelism() int { return procs }
+var eng atomic.Pointer[engine]
+
+func init() { eng.Store(newEngine(runtime.GOMAXPROCS(0), false)) }
+
+func newEngine(procs int, pinned bool) *engine {
+	if procs < 1 {
+		procs = 1
+	}
+	return &engine{procs: procs, sem: make(chan struct{}, procs-1), pinned: pinned}
+}
+
+// current returns the engine to use for one operation, first re-reading
+// runtime.GOMAXPROCS(0) so daemons that resize the scheduler at runtime
+// get the parallelism they asked for. The GOMAXPROCS query takes a
+// runtime-internal lock, so current() is called once per parallel
+// operation (a loop launch, not a loop element) and the helpers thread
+// the engine through; pinning with SetParallelism skips the query
+// entirely. The CAS race on resize is benign (both candidates are
+// correctly sized).
+func current() *engine {
+	e := eng.Load()
+	if e.pinned {
+		return e
+	}
+	if p := runtime.GOMAXPROCS(0); p != e.procs {
+		ne := newEngine(p, false)
+		if eng.CompareAndSwap(e, ne) {
+			return ne
+		}
+		return eng.Load()
+	}
+	return e
+}
+
+// Parallelism reports the number of workers the package-level engine uses:
+// the value fixed by SetParallelism, or runtime.GOMAXPROCS(0) (re-read on
+// every operation, not frozen at package init).
+func Parallelism() int { return current().procs }
+
+// SetParallelism fixes the package-level engine's worker count to n,
+// decoupling it from runtime.GOMAXPROCS; n <= 0 reverts to tracking
+// runtime.GOMAXPROCS(0). Operations already in flight finish on the engine
+// they started with.
+func SetParallelism(n int) {
+	if n <= 0 {
+		eng.Store(newEngine(runtime.GOMAXPROCS(0), false))
+		return
+	}
+	eng.Store(newEngine(n, true))
+}
 
 // Do runs the given functions, possibly in parallel, and returns when all
 // of them have returned. It is the fork-join primitive: fork every function
@@ -48,14 +96,15 @@ func Do(fs ...func()) {
 		fs[0]()
 		return
 	}
+	e := current()
 	var wg sync.WaitGroup
 	for _, f := range fs[1:] {
 		select {
-		case sem <- struct{}{}:
+		case e.sem <- struct{}{}:
 			wg.Add(1)
 			go func(f func()) {
 				defer func() {
-					<-sem
+					<-e.sem
 					wg.Done()
 				}()
 				f()
@@ -75,11 +124,12 @@ func For(lo, hi int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
-	grain := n / (8 * procs)
-	if grain < 1 {
-		grain = 1
-	}
-	ForGrain(lo, hi, grain, f)
+	e := current()
+	forBlocks(e, lo, hi, grainFor(e, n), func(l, h int) {
+		for i := l; i < h; i++ {
+			f(i)
+		}
+	})
 }
 
 // ForGrain runs f(i) for every i in [lo, hi) with the given grain size:
@@ -97,6 +147,11 @@ func ForGrain(lo, hi, grain int, f func(i int)) {
 // logarithmic fork depth, matching the PRAM convention that a parallel-for
 // costs O(log n) depth to fork.
 func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
+	forBlocks(current(), lo, hi, grain, body)
+}
+
+// forBlocks is ForBlocks running on an already-resolved engine.
+func forBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
@@ -107,12 +162,12 @@ func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
 			// Try to fork the right half; degrade to sequential
 			// execution of both halves if no worker is free.
 			select {
-			case sem <- struct{}{}:
+			case e.sem <- struct{}{}:
 				var wg sync.WaitGroup
 				wg.Add(1)
 				go func(l, h int) {
 					defer func() {
-						<-sem
+						<-e.sem
 						wg.Done()
 					}()
 					run(l, h)
@@ -138,7 +193,7 @@ func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
 // exactly grain indices (the last may be short) and runs body(b, l, h) for
 // each block b, possibly in parallel. Unlike ForBlocks, block boundaries
 // are aligned multiples of grain, so b indexes per-block scratch safely.
-func alignedBlocks(lo, hi, grain int, body func(b, l, h int)) {
+func alignedBlocks(e *engine, lo, hi, grain int, body func(b, l, h int)) {
 	n := hi - lo
 	if n <= 0 {
 		return
@@ -147,7 +202,7 @@ func alignedBlocks(lo, hi, grain int, body func(b, l, h int)) {
 		grain = 1
 	}
 	nblocks := (n + grain - 1) / grain
-	ForBlocks(0, nblocks, 1, func(bl, bh int) {
+	forBlocks(e, 0, nblocks, 1, func(bl, bh int) {
 		for b := bl; b < bh; b++ {
 			l := lo + b*grain
 			h := l + grain
@@ -159,8 +214,8 @@ func alignedBlocks(lo, hi, grain int, body func(b, l, h int)) {
 	})
 }
 
-func autoGrain(n int) int {
-	grain := n / (8 * procs)
+func grainFor(e *engine, n int) int {
+	grain := n / (8 * e.procs)
 	if grain < 1 {
 		grain = 1
 	}
@@ -174,10 +229,11 @@ func Reduce[T any](lo, hi int, id T, f func(i int) T, comb func(a, b T) T) T {
 	if n <= 0 {
 		return id
 	}
-	grain := autoGrain(n)
+	e := current()
+	grain := grainFor(e, n)
 	nblocks := (n + grain - 1) / grain
 	partial := make([]T, nblocks)
-	alignedBlocks(lo, hi, grain, func(b, l, h int) {
+	alignedBlocks(e, lo, hi, grain, func(b, l, h int) {
 		acc := id
 		for i := l; i < h; i++ {
 			acc = comb(acc, f(i))
@@ -204,10 +260,11 @@ func ExclusivePrefixSum[T Integer](xs []T) T {
 	if n == 0 {
 		return 0
 	}
-	grain := autoGrain(n)
+	e := current()
+	grain := grainFor(e, n)
 	nblocks := (n + grain - 1) / grain
 	sums := make([]T, nblocks)
-	alignedBlocks(0, n, grain, func(b, l, h int) {
+	alignedBlocks(e, 0, n, grain, func(b, l, h int) {
 		var s T
 		for i := l; i < h; i++ {
 			s += xs[i]
@@ -220,7 +277,7 @@ func ExclusivePrefixSum[T Integer](xs []T) T {
 		sums[b] = total
 		total += s
 	}
-	alignedBlocks(0, n, grain, func(b, l, h int) {
+	alignedBlocks(e, 0, n, grain, func(b, l, h int) {
 		acc := sums[b]
 		for i := l; i < h; i++ {
 			v := xs[i]

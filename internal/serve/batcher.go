@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/index"
+	"planarsi/internal/par"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 503) when admission
+// control rejects a request because too many are already waiting.
+var ErrOverloaded = errors.New("serve: too many queued requests")
+
+// BatchKind selects which batched Index entry point a request coalesces
+// into.
+type BatchKind uint8
+
+const (
+	// KindDecide coalesces into Index.Scan.
+	KindDecide BatchKind = iota
+	// KindCount coalesces into Index.ScanCount.
+	KindCount
+)
+
+// SchedulerOptions configures the micro-batching scheduler.
+type SchedulerOptions struct {
+	// Window is how long the first request of a batch waits for company
+	// before the batch is dispatched. Longer windows coalesce more
+	// (better throughput under load) at the cost of idle latency.
+	// 0 takes the default of 2ms; a negative window disables coalescing,
+	// dispatching every request immediately as a batch of one.
+	Window time.Duration
+	// MaxBatch dispatches a batch early once it holds this many
+	// requests. Default 64.
+	MaxBatch int
+	// MaxInFlight bounds concurrently executing batches (each batch
+	// already fans out internally via internal/par); admission control
+	// on top of the fork-join runtime. Default par.Parallelism().
+	MaxInFlight int
+	// MaxQueued bounds requests waiting anywhere in the scheduler;
+	// beyond it, Submit fails fast with ErrOverloaded. Default 4096.
+	MaxQueued int
+	// AfterBatch, when non-nil, runs after every executed batch and
+	// Direct operation (outside the in-flight semaphore). The Server
+	// points it at Registry.Maintain, so the memory budget is enforced
+	// once per batch instead of once per request.
+	AfterBatch func()
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Window == 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = par.Parallelism()
+	}
+	if o.MaxQueued <= 0 {
+		o.MaxQueued = 4096
+	}
+	return o
+}
+
+// Scheduler coalesces concurrent queries against the same host graph
+// into single Index.Scan / Index.ScanCount batches. Requests arriving
+// within a small window share one batch, so the target-side shared
+// preprocessing (and the per-batch fork-join) is paid once per window
+// instead of once per request; per-request answers are exactly what the
+// direct Index call would return, because Scan itself guarantees
+// positional answers identical to one-at-a-time queries.
+type Scheduler struct {
+	opt SchedulerOptions
+	sem chan struct{} // in-flight batch slots
+
+	mu     sync.Mutex
+	groups map[groupKey]*group
+
+	queued    atomic.Int64
+	batches   atomic.Uint64
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	maxBatch  atomic.Int64 // largest batch dispatched so far
+	inFlight  atomic.Int64
+	waitNanos atomic.Int64 // total time requests spent waiting for their batch
+}
+
+// groupKey identifies one coalescing bucket: requests batch only with
+// requests for the same registry entry and the same kind. Keying on the
+// entry pointer (not the name) means a re-registered graph can never
+// share a batch with its predecessor's requests.
+type groupKey struct {
+	e    *Entry
+	kind BatchKind
+}
+
+// group accumulates the pending batch for one key. The first request of
+// a batch arms the flush timer; MaxBatch dispatches early.
+type group struct {
+	s   *Scheduler
+	key groupKey
+
+	mu      sync.Mutex
+	pending []request
+	timer   *time.Timer
+}
+
+type request struct {
+	h        *graph.Graph
+	enqueued time.Time
+	done     chan index.ScanResult
+}
+
+// NewScheduler returns a scheduler with the given options (zero fields
+// take defaults).
+func NewScheduler(opt SchedulerOptions) *Scheduler {
+	opt = opt.withDefaults()
+	return &Scheduler{
+		opt:    opt,
+		sem:    make(chan struct{}, opt.MaxInFlight),
+		groups: make(map[groupKey]*group),
+	}
+}
+
+func (s *Scheduler) group(key groupKey) *group {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[key]
+	if g == nil {
+		g = &group{s: s, key: key}
+		s.groups[key] = g
+	}
+	return g
+}
+
+// Forget drops the coalescing state of a removed registry entry. Pending
+// requests of the entry (impossible while callers hold an Acquire ref,
+// which removal refuses) would still be flushed by their armed timer.
+func (s *Scheduler) Forget(e *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.groups, groupKey{e, KindDecide})
+	delete(s.groups, groupKey{e, KindCount})
+}
+
+// admit reserves a queue slot, failing fast when the scheduler is full.
+func (s *Scheduler) admit() error {
+	if s.queued.Add(1) > int64(s.opt.MaxQueued) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// Submit coalesces one decide/count query for entry e into the entry's
+// current batch and blocks until the batch executes, returning this
+// pattern's positional result. The answer is identical to calling the
+// corresponding Index method directly.
+func (s *Scheduler) Submit(e *Entry, kind BatchKind, h *graph.Graph) (index.ScanResult, error) {
+	if err := s.admit(); err != nil {
+		return index.ScanResult{}, err
+	}
+	defer s.queued.Add(-1)
+
+	if s.opt.Window < 0 {
+		// Coalescing disabled: dispatch a singleton batch synchronously.
+		res := s.run(e, kind, []request{{h: h, enqueued: time.Now()}})
+		return res[0], nil
+	}
+
+	g := s.group(groupKey{e, kind})
+	rq := request{h: h, enqueued: time.Now(), done: make(chan index.ScanResult, 1)}
+	g.mu.Lock()
+	g.pending = append(g.pending, rq)
+	if len(g.pending) >= s.opt.MaxBatch {
+		batch := g.takeLocked()
+		g.mu.Unlock()
+		go s.dispatch(e, kind, batch)
+	} else {
+		if len(g.pending) == 1 {
+			g.timer = time.AfterFunc(s.opt.Window, g.flush)
+		}
+		g.mu.Unlock()
+	}
+	return <-rq.done, nil
+}
+
+// takeLocked claims the pending batch and disarms the timer; the caller
+// holds g.mu.
+func (g *group) takeLocked() []request {
+	batch := g.pending
+	g.pending = nil
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	return batch
+}
+
+// flush is the window-timer callback: dispatch whatever has accumulated.
+func (g *group) flush() {
+	g.mu.Lock()
+	batch := g.takeLocked()
+	g.mu.Unlock()
+	if len(batch) > 0 {
+		g.s.dispatch(g.key.e, g.key.kind, batch)
+	}
+}
+
+// dispatch executes a batch and delivers each request's answer.
+func (s *Scheduler) dispatch(e *Entry, kind BatchKind, batch []request) {
+	for i, res := range s.run(e, kind, batch) {
+		batch[i].done <- res
+	}
+}
+
+// run executes one batch under the in-flight semaphore and records stats.
+func (s *Scheduler) run(e *Entry, kind BatchKind, batch []request) []index.ScanResult {
+	if s.opt.AfterBatch != nil {
+		defer s.opt.AfterBatch()
+	}
+	s.sem <- struct{}{}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+
+	start := time.Now()
+	for _, rq := range batch {
+		s.waitNanos.Add(start.Sub(rq.enqueued).Nanoseconds())
+	}
+	patterns := make([]*graph.Graph, len(batch))
+	for i, rq := range batch {
+		patterns[i] = rq.h
+	}
+	var res []index.ScanResult
+	if kind == KindDecide {
+		res = e.Index().Scan(patterns)
+	} else {
+		res = e.Index().ScanCount(patterns)
+	}
+	s.batches.Add(1)
+	s.requests.Add(uint64(len(batch)))
+	for {
+		prev := s.maxBatch.Load()
+		if int64(len(batch)) <= prev || s.maxBatch.CompareAndSwap(prev, int64(len(batch))) {
+			break
+		}
+	}
+	return res
+}
+
+// Direct runs a non-batchable operation (find, list, separating) under
+// the same admission control and in-flight bound as the batches.
+func (s *Scheduler) Direct(f func()) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	defer s.queued.Add(-1)
+	if s.opt.AfterBatch != nil {
+		defer s.opt.AfterBatch()
+	}
+	s.sem <- struct{}{}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	f()
+	return nil
+}
+
+// SchedulerStats is a point-in-time snapshot of the scheduler.
+type SchedulerStats struct {
+	// Batches and Requests give the coalescing ratio: Requests/Batches
+	// is the average number of queries that shared one Scan.
+	Batches  uint64 `json:"batches"`
+	Requests uint64 `json:"requests"`
+	Rejected uint64 `json:"rejected"`
+	MaxBatch int64  `json:"maxBatch"`
+	InFlight int64  `json:"inFlight"`
+	Queued   int64  `json:"queued"`
+	// AvgWaitMicros is the mean time a request spent waiting for its
+	// batch to dispatch (the coalescing latency cost).
+	AvgWaitMicros float64 `json:"avgWaitMicros"`
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		Batches:  s.batches.Load(),
+		Requests: s.requests.Load(),
+		Rejected: s.rejected.Load(),
+		MaxBatch: s.maxBatch.Load(),
+		InFlight: s.inFlight.Load(),
+		Queued:   s.queued.Load(),
+	}
+	if st.Requests > 0 {
+		st.AvgWaitMicros = float64(s.waitNanos.Load()) / float64(st.Requests) / 1e3
+	}
+	return st
+}

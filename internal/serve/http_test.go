@@ -1,0 +1,333 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"planarsi/internal/conn"
+	"planarsi/internal/core"
+	"planarsi/internal/graph"
+	"planarsi/internal/serve"
+)
+
+var httpOpt = core.Options{Seed: 7, MaxRuns: 4}
+
+func newTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Options{
+		Pipeline:  httpOpt,
+		Scheduler: serve.SchedulerOptions{Window: time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func graphWire(g *graph.Graph) serve.GraphJSON {
+	return serve.WireGraph(g)
+}
+
+// TestHTTPBatchedEqualsDirect is the serving-layer acceptance test: the
+// bytes served by /decide and /count for a burst of concurrent, coalesced
+// queries are identical to the bytes produced by marshaling the direct
+// planarsi API's answers (same Options) through the same wire struct.
+func TestHTTPBatchedEqualsDirect(t *testing.T) {
+	s, ts := newTestServer(t)
+	g := graph.Grid(6, 6)
+	if _, err := s.Registry().Register("grid", g, false); err != nil {
+		t.Fatal(err)
+	}
+	patterns := []*graph.Graph{
+		graph.Cycle(4), graph.Cycle(3), graph.Path(4), graph.Star(4),
+		graph.Cycle(6), graph.Path(5), graph.Star(5), graph.Cycle(5),
+	}
+
+	type answer struct{ decide, count []byte }
+	got := make([]answer, len(patterns))
+	var wg sync.WaitGroup
+	for i, h := range patterns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := map[string]any{"graph": "grid", "pattern": graphWire(h)}
+			resp, body := postJSON(t, ts.URL+"/decide", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("decide %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			got[i].decide = body
+			resp, body = postJSON(t, ts.URL+"/count", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("count %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			got[i].count = body
+		}()
+	}
+	wg.Wait()
+
+	for i, h := range patterns {
+		found, err := core.Decide(g, h, httpOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := core.Count(g, h, httpOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDecide, _ := json.Marshal(serve.QueryResponse{Graph: "grid", Found: found})
+		wantCount, _ := json.Marshal(serve.QueryResponse{Graph: "grid", Found: count > 0, Count: &count})
+		if !bytes.Equal(bytes.TrimSpace(got[i].decide), wantDecide) {
+			t.Errorf("pattern %d decide: got %s, want %s", i, got[i].decide, wantDecide)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got[i].count), wantCount) {
+			t.Errorf("pattern %d count: got %s, want %s", i, got[i].count, wantCount)
+		}
+	}
+
+	st := s.Stats()
+	if st.Scheduler.Requests != uint64(2*len(patterns)) {
+		t.Errorf("scheduler saw %d requests, want %d", st.Scheduler.Requests, 2*len(patterns))
+	}
+	if st.Endpoints["decide"].Count != uint64(len(patterns)) {
+		t.Errorf("decide endpoint count = %d, want %d", st.Endpoints["decide"].Count, len(patterns))
+	}
+}
+
+// TestHTTPGraphLifecycle drives registration (both wire formats), listing,
+// duplicate and in-flight conflicts, and removal.
+func TestHTTPGraphLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Register via edge-list text.
+	edgeList := "n 4\n0 1\n1 2\n2 3\n3 0\n"
+	resp, err := http.Post(ts.URL+"/graphs/square", "text/plain", strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register text: status %d: %s", resp.StatusCode, body)
+	}
+	var reg serve.RegisterResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.N != 4 || reg.M != 4 {
+		t.Fatalf("registered n=%d m=%d, want 4/4", reg.N, reg.M)
+	}
+
+	// Register via JSON.
+	resp, body = postJSON(t, ts.URL+"/graphs/tri", serve.GraphJSON{Edges: []serve.Edge{{0, 1}, {1, 2}, {2, 0}}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register json: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Duplicate name conflicts.
+	resp, _ = postJSON(t, ts.URL+"/graphs/tri", serve.GraphJSON{Edges: []serve.Edge{{0, 1}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register: status %d, want 409", resp.StatusCode)
+	}
+
+	// Malformed edge arrays are rejected, not silently truncated.
+	resp, _ = postJSON(t, ts.URL+"/decide", map[string]any{
+		"graph": "tri", "pattern": map[string]any{"edges": [][]int32{{0, 1, 7}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("3-element edge: status %d, want 400", resp.StatusCode)
+	}
+
+	// Malformed graphs are rejected up front.
+	for _, bad := range []string{"1 1\n", "0 x\n", "n 99999999999999\n"} {
+		resp, err := http.Post(ts.URL+"/graphs/bad", "text/plain", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("register %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Listing sees both graphs.
+	resp, err = http.Get(ts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list serve.RegistryStats
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 2 {
+		t.Fatalf("listed %d graphs, want 2: %s", len(list.Graphs), body)
+	}
+
+	// A query against the registered graph works end to end.
+	resp, body = postJSON(t, ts.URL+"/decide", map[string]any{
+		"graph": "square", "pattern": graphWire(graph.Path(3)),
+	})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"found":true`) {
+		t.Fatalf("decide on registered graph: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Remove, then the graph 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/tri", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/decide", map[string]any{
+		"graph": "tri", "pattern": graphWire(graph.Path(2)),
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("decide on removed graph: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPFindSeparatingConnectivity covers the witness-producing
+// endpoints: /find occurrences verify, /separating returns a separating
+// witness, /connectivity matches the known grid connectivity.
+func TestHTTPFindSeparatingConnectivity(t *testing.T) {
+	s, ts := newTestServer(t)
+	g := graph.Grid(5, 5)
+	if _, err := s.Registry().Register("grid", g, false); err != nil {
+		t.Fatal(err)
+	}
+
+	h := graph.Cycle(4)
+	resp, body := postJSON(t, ts.URL+"/find", map[string]any{"graph": "grid", "pattern": graphWire(h)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("find: status %d: %s", resp.StatusCode, body)
+	}
+	var qr serve.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Found || !core.VerifyOccurrence(g, h, qr.Occurrence) {
+		t.Fatalf("find returned unverifiable occurrence: %s", body)
+	}
+
+	// The distance-1 ring around the center of a 5x5 grid is a C8 whose
+	// removal separates the center (12) from the corner (0).
+	ring := graph.Cycle(8)
+	resp, body = postJSON(t, ts.URL+"/separating", map[string]any{
+		"graph": "grid", "pattern": graphWire(ring), "terminals": []int32{12, 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("separating: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, g.N())
+	mask[12], mask[0] = true, true
+	if !qr.Found || !core.VerifySeparating(g, ring, mask, qr.Occurrence) {
+		t.Fatalf("separating returned unverifiable witness: %s", body)
+	}
+
+	// Terminal validation.
+	resp, _ = postJSON(t, ts.URL+"/separating", map[string]any{
+		"graph": "grid", "pattern": graphWire(ring), "terminals": []int32{0, 99},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range terminal: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/connectivity", map[string]any{"graph": "grid"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("connectivity: status %d: %s", resp.StatusCode, body)
+	}
+	var cr serve.ConnectivityResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Connectivity != 2 {
+		t.Fatalf("grid connectivity = %d, want 2: %s", cr.Connectivity, body)
+	}
+	if cr.Cut != nil && !conn.VerifyCut(g, cr.Cut) {
+		t.Fatalf("reported cut does not verify: %s", body)
+	}
+}
+
+// TestHTTPHealthAndStats checks the operational endpoints.
+func TestHTTPHealthAndStats(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.Registry().Register("grid", graph.Grid(4, 4), true); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: status %d body %q", resp.StatusCode, body)
+	}
+
+	if _, body = postJSON(t, ts.URL+"/decide", map[string]any{
+		"graph": "grid", "pattern": graphWire(graph.Cycle(4)),
+	}); len(body) == 0 {
+		t.Fatal("empty decide response")
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st serve.ServerStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats unmarshal: %v: %s", err, body)
+	}
+	if len(st.Registry.Graphs) != 1 || st.Registry.Graphs[0].Index.Queries == 0 {
+		t.Fatalf("stats missing registry accounting: %s", body)
+	}
+	if st.Endpoints["decide"].Count != 1 || st.Endpoints["healthz"].Count != 1 {
+		t.Fatalf("stats missing endpoint counters: %s", body)
+	}
+	if st.Registry.Graphs[0].MemBytes == 0 {
+		t.Fatalf("stats missing memory accounting: %s", body)
+	}
+}
+
+func ExampleGraphJSON() {
+	wire := serve.GraphJSON{Edges: []serve.Edge{{0, 1}, {1, 2}, {2, 0}}}
+	g, _ := wire.Build(16)
+	fmt.Println(g.N(), g.M())
+	// Output: 3 3
+}

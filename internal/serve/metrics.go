@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics accumulates one endpoint's latency/throughput counters
+// with plain atomics (the hot path adds no locks to request handling).
+type endpointMetrics struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.count.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNs.Add(ns)
+	for {
+		prev := m.maxNs.Load()
+		if ns <= prev || m.maxNs.CompareAndSwap(prev, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is one endpoint's snapshot in /stats.
+type EndpointStats struct {
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// AvgMillis and MaxMillis summarize handler latency, including any
+	// time spent waiting in the micro-batching window.
+	AvgMillis float64 `json:"avgMillis"`
+	MaxMillis float64 `json:"maxMillis"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	st := EndpointStats{Count: m.count.Load(), Errors: m.errors.Load()}
+	if st.Count > 0 {
+		st.AvgMillis = float64(m.totalNs.Load()) / float64(st.Count) / 1e6
+	}
+	st.MaxMillis = float64(m.maxNs.Load()) / 1e6
+	return st
+}
+
+// statusRecorder captures the response status so errors (>= 400) can be
+// counted per endpoint.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the named endpoint's counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.observe(time.Since(start), rec.status >= 400)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"planarsi/internal/core"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Pipeline is the planarsi option set every query runs with. Answers
+	// are byte-identical to the direct API with the same options.
+	Pipeline core.Options
+	// MaxBytes is the registry's memory budget (see RegistryOptions).
+	MaxBytes int64
+	// Scheduler configures the micro-batching window and admission
+	// control.
+	Scheduler SchedulerOptions
+	// MaxGraphVertices caps registered host graphs and query patterns
+	// (the daemon is network-facing). Default 1 << 21.
+	MaxGraphVertices int
+	// MaxBodyBytes caps request bodies. Default 32 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxGraphVertices <= 0 {
+		o.MaxGraphVertices = 1 << 21
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// Server glues the three serving-layer parts together: the graph
+// registry, the micro-batching scheduler, and the HTTP endpoint handlers
+// with their per-endpoint metrics. Build one with New, expose it with
+// Handler, and preload graphs through Registry.
+type Server struct {
+	opt     Options
+	reg     *Registry
+	sched   *Scheduler
+	metrics map[string]*endpointMetrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a Server (no listening socket; pair Handler with an
+// http.Server, as cmd/planarsid does).
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		metrics: make(map[string]*endpointMetrics),
+		start:   time.Now(),
+	}
+	// Queries grow Index caches; enforcing the budget once per executed
+	// batch (not once per request) keeps Maintain's registry sweep off
+	// the per-request hot path.
+	opt.Scheduler.AfterBatch = func() { s.reg.Maintain() }
+	s.sched = NewScheduler(opt.Scheduler)
+	s.reg = NewRegistry(RegistryOptions{
+		Pipeline: opt.Pipeline,
+		MaxBytes: opt.MaxBytes,
+		OnRemove: s.sched.Forget,
+	})
+	s.routes()
+	return s
+}
+
+// Registry returns the server's graph registry (for preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Scheduler returns the server's micro-batching scheduler.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /graphs", s.instrument("graphs.list", s.handleListGraphs))
+	mux.HandleFunc("POST /graphs/{name}", s.instrument("graphs.register", s.handleRegisterGraph))
+	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("graphs.remove", s.handleRemoveGraph))
+	mux.HandleFunc("POST /decide", s.instrument("decide", s.handleBatched(KindDecide)))
+	mux.HandleFunc("POST /count", s.instrument("count", s.handleBatched(KindCount)))
+	mux.HandleFunc("POST /find", s.instrument("find", s.handleFind))
+	mux.HandleFunc("POST /separating", s.instrument("separating", s.handleSeparating))
+	mux.HandleFunc("POST /connectivity", s.instrument("connectivity", s.handleConnectivity))
+	s.mux = mux
+}
+
+// ServerStats is the /stats payload.
+type ServerStats struct {
+	UptimeSeconds float64                  `json:"uptimeSeconds"`
+	Registry      RegistryStats            `json:"registry"`
+	Scheduler     SchedulerStats           `json:"scheduler"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// Stats returns a snapshot across all three parts.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Registry:      s.reg.Stats(),
+		Scheduler:     s.sched.Stats(),
+		Endpoints:     make(map[string]EndpointStats, len(s.metrics)),
+	}
+	for name, m := range s.metrics {
+		st.Endpoints[name] = m.snapshot()
+	}
+	return st
+}

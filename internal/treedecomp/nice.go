@@ -57,6 +57,17 @@ type Nice struct {
 // NumNodes returns the node count.
 func (nd *Nice) NumNodes() int { return len(nd.Kind) }
 
+// MemBytes returns the approximate heap footprint of the decomposition in
+// bytes (cache accounting for the serving layer's memory budget).
+func (nd *Nice) MemBytes() int64 {
+	b := int64(cap(nd.Kind)) +
+		4*int64(cap(nd.Vertex)+cap(nd.Left)+cap(nd.Right)+cap(nd.Parent)+cap(nd.Order))
+	for _, bag := range nd.Bag {
+		b += 4 * int64(cap(bag))
+	}
+	return b
+}
+
 // Slot returns the index of v in the sorted bag of node i, or -1.
 func (nd *Nice) Slot(i int32, v int32) int {
 	b := nd.Bag[i]

@@ -53,7 +53,9 @@
 // goroutines. Cached artifacts are immutable and built exactly once per
 // key (concurrent requesters of a missing artifact block until the single
 // build finishes); Scan and ScanCount run their batch concurrently via
-// the internal fork-join runtime.
+// the internal fork-join runtime. Index.Stats reports the cache contents
+// and approximate memory footprint — the accounting the planarsid
+// daemon's LRU eviction budgets against (see cmd/planarsid).
 //
 // Yes-answers (found occurrences, reported cuts) are always exact and can
 // be re-checked with VerifyOccurrence / the returned witnesses;
@@ -208,6 +210,11 @@ type Index = index.Index
 // ScanResult is one pattern's answer in an Index.Scan or Index.ScanCount
 // batch.
 type ScanResult = index.ScanResult
+
+// IndexStats is a point-in-time snapshot of an Index's cache contents,
+// approximate memory footprint, and query traffic (Index.Stats). Serving
+// layers use it to drive cache-eviction policies against a memory budget.
+type IndexStats = index.Stats
 
 // NewIndex builds an Index over the target g. The options play the same
 // role as in the package-level calls and are fixed for the Index's

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# serve-smoke: boots the planarsid daemon, fires a scripted query burst
+# with curl, and checks the answers (used by `make serve-smoke` and CI).
+#
+# The host is the 3x3 grid, small enough that every expected answer is
+# known exactly: C4 occurs (32 occurrences at seed 1, counting
+# automorphic images), the triangle does not, and the connectivity is 2.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/planarsid" ./cmd/planarsid
+
+cat > "$tmp/grid.edges" <<'EOF'
+n 9
+0 1
+1 2
+3 4
+4 5
+6 7
+7 8
+0 3
+3 6
+1 4
+4 7
+2 5
+5 8
+EOF
+
+"$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" -window 5ms > "$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: daemon did not start"; cat "$tmp/log"; exit 1
+fi
+
+fail() { echo "serve-smoke: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
+check() { # check <name> <expected-fragment> <actual>
+    case "$3" in
+        *"$2"*) echo "serve-smoke: $1 ok" ;;
+        *) fail "$1" "$3" ;;
+    esac
+}
+
+c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
+c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
+
+check healthz ok "$(curl -sf "http://$addr/healthz")"
+
+# Concurrent query burst: 4 decides + 4 counts of the same pattern land
+# in shared micro-batches.
+curls=()
+for i in 1 2 3 4; do
+    curl -sf -X POST "http://$addr/decide" -d "$c4" > "$tmp/decide$i" & curls+=($!)
+    curl -sf -X POST "http://$addr/count" -d "$c4" > "$tmp/count$i" & curls+=($!)
+done
+wait "${curls[@]}"
+for i in 1 2 3 4; do
+    check "decide#$i" '"found":true' "$(cat "$tmp/decide$i")"
+    check "count#$i" '"count":32' "$(cat "$tmp/count$i")"
+done
+
+check "decide C3" '"found":false' "$(curl -sf -X POST "http://$addr/decide" -d "$c3")"
+check connectivity '"connectivity":2' "$(curl -sf -X POST "http://$addr/connectivity" -d '{"graph":"grid"}')"
+check register '"n":3' "$(printf '0 1\n1 2\n' | curl -sf -X POST "http://$addr/graphs/path" --data-binary @-)"
+check "decide path" '"found":true' "$(curl -sf -X POST "http://$addr/find" -d '{"graph":"path","pattern":{"n":2,"edges":[[0,1]]}}')"
+check stats '"batches"' "$(curl -sf "http://$addr/stats")"
+
+kill -TERM "$pid"
+rc=0; wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
+fi
+echo "serve-smoke: graceful shutdown ok"
+echo "serve-smoke: PASS"
