@@ -11,6 +11,7 @@
 package planarsi_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
@@ -443,7 +444,7 @@ func BenchmarkIndexScan(b *testing.B) {
 	b.Run("batched", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ix := planarsi.NewIndex(g, opt)
-			check(b, ix.Scan(patterns))
+			check(b, ix.Scan(context.Background(), patterns))
 		}
 	})
 	b.Run("independent", func(b *testing.B) {
@@ -457,10 +458,10 @@ func BenchmarkIndexScan(b *testing.B) {
 	})
 	b.Run("warm", func(b *testing.B) {
 		ix := planarsi.NewIndex(g, opt)
-		check(b, ix.Scan(patterns)) // populate the cache
+		check(b, ix.Scan(context.Background(), patterns)) // populate the cache
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			check(b, ix.Scan(patterns))
+			check(b, ix.Scan(context.Background(), patterns))
 		}
 	})
 }
@@ -498,7 +499,7 @@ func BenchmarkServeLoad(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				i := int(next.Add(1)-1) % len(patterns)
-				res, err := sched.Submit(e, serve.KindDecide, patterns[i])
+				res, err := sched.Submit(context.Background(), e, serve.KindDecide, patterns[i])
 				if err != nil || res.Err != nil {
 					b.Errorf("submit: %v / %v", err, res.Err)
 					return

@@ -25,6 +25,13 @@
 // queries arriving within -window of each other against the same graph
 // are coalesced into one batched scan. SIGINT/SIGTERM shut down
 // gracefully, draining in-flight requests.
+//
+// The parallel runtime is sized with -procs (0 tracks GOMAXPROCS) and
+// selected with -par-engine (the work-stealing pool by default; the
+// semaphore engine is kept for ablations). Request contexts are honored
+// end to end: a client that disconnects — or outlives -deadline — has
+// its query cancelled mid-band instead of burning cores to completion,
+// and requests that are already dead at admission are refused with 499.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 
 	"planarsi/internal/core"
 	"planarsi/internal/gio"
+	"planarsi/internal/par"
 	"planarsi/internal/serve"
 )
 
@@ -55,6 +63,9 @@ func main() {
 	inflight := flag.Int("inflight", 0, "max concurrently executing batches (0 = parallelism)")
 	maxQueued := flag.Int("max-queued", 4096, "queued-request bound before 503s")
 	maxGraphN := flag.Int("max-graph-n", 1<<21, "largest accepted graph (vertices)")
+	procs := flag.Int("procs", 0, "worker count for the parallel runtime (0 tracks GOMAXPROCS)")
+	engine := flag.String("par-engine", "pool", "parallel execution engine: pool (work-stealing) or semaphore (ablation)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline; expired queries are cancelled mid-band and answered 504 (0 = none)")
 	var preload []string
 	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -65,6 +76,18 @@ func main() {
 	if *window == 0 {
 		*window = -1 // flag 0 means "no coalescing" (negative internally)
 	}
+	switch *engine {
+	case "pool":
+		par.SetEngine(par.EnginePool)
+	case "semaphore":
+		par.SetEngine(par.EngineSemaphore)
+	default:
+		log.Fatalf("planarsid: -par-engine wants pool or semaphore, got %q", *engine)
+	}
+	if *procs > 0 {
+		par.SetParallelism(*procs)
+	}
+	log.Printf("planarsid: parallel runtime: %d workers (%s engine)", par.Parallelism(), *engine)
 	srv := serve.New(serve.Options{
 		Pipeline: core.Options{Seed: *seed, MaxRuns: *runs},
 		MaxBytes: *memMB << 20,
@@ -75,6 +98,7 @@ func main() {
 			MaxQueued:   *maxQueued,
 		},
 		MaxGraphVertices: *maxGraphN,
+		RequestTimeout:   *deadline,
 	})
 
 	for _, spec := range preload {

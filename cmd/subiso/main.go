@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -87,7 +88,7 @@ func main() {
 	exit := 0
 	switch *mode {
 	case "decide":
-		results := ix.Scan(hs)
+		results := ix.Scan(context.Background(), hs)
 		for i, res := range results {
 			if res.Err != nil {
 				fatal("%s: %v", files[i], res.Err)
@@ -100,7 +101,7 @@ func main() {
 			}
 		}
 	case "count":
-		results := ix.ScanCount(hs)
+		results := ix.ScanCount(context.Background(), hs)
 		for i, res := range results {
 			if res.Err != nil {
 				fatal("%s: %v", files[i], res.Err)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -48,7 +49,7 @@ func main() {
 		batch[i] = m.h
 	}
 	fmt.Println("motif            maps    subgraphs")
-	for i, res := range ix.ScanCount(batch) {
+	for i, res := range ix.ScanCount(context.Background(), batch) {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}

@@ -1,6 +1,7 @@
 package planarsi_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestPublicIndex(t *testing.T) {
 	opt := planarsi.Options{Seed: 21, MaxRuns: 8}
 	ix := planarsi.NewIndex(g, opt)
 
-	for i, res := range ix.Scan(patterns) {
+	for i, res := range ix.Scan(context.Background(), patterns) {
 		if res.Err != nil {
 			t.Fatalf("pattern %d: %v", i, res.Err)
 		}

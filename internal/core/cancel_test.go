@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/par"
+)
+
+// TestDecidePreCancelled: a token fired before the call returns
+// par.ErrCancelled without doing work.
+func TestDecidePreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	g := graph.RandomPlanar(200, 0.6, rng)
+	h := graph.Cycle(4)
+	c := par.NewCanceller()
+	c.Cancel()
+	if _, err := Decide(g, h, Options{Seed: 1, Cancel: c}); !errors.Is(err, par.ErrCancelled) {
+		t.Fatalf("pre-cancelled Decide err = %v, want ErrCancelled", err)
+	}
+	if _, err := FindOne(g, h, Options{Seed: 1, Cancel: c}); !errors.Is(err, par.ErrCancelled) {
+		t.Fatalf("pre-cancelled FindOne err = %v, want ErrCancelled", err)
+	}
+	if _, err := List(g, h, Options{Seed: 1, Cancel: c}); !errors.Is(err, par.ErrCancelled) {
+		t.Fatalf("pre-cancelled List err = %v, want ErrCancelled", err)
+	}
+	s := make([]bool, g.N())
+	s[0], s[g.N()-1] = true, true
+	if _, err := DecideSeparating(g, h, s, Options{Seed: 1, Cancel: c}); !errors.Is(err, par.ErrCancelled) {
+		t.Fatalf("pre-cancelled DecideSeparating err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestDecideUnfiredTokenIdenticalAnswers: carrying a token that never
+// fires must not perturb answers — the checkpoints are reads only.
+func TestDecideUnfiredTokenIdenticalAnswers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomPlanar(20+rng.IntN(60), rng.Float64(), rng)
+		h := randomPattern(2+rng.IntN(4), rng.IntN(3), rng)
+		want, err := Decide(g, h, Options{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decide(g, h, Options{Seed: uint64(trial), Cancel: par.NewCanceller()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: with-token=%v without=%v", trial, got, want)
+		}
+	}
+}
+
+// TestCancelledRerunByteIdentical: fire the token mid-flight (from a
+// concurrent goroutine), then rerun from scratch with the same Options —
+// the rerun must return byte-identical results to a never-cancelled
+// call. This is the cancellation-soundness contract: abandoning DPs
+// mid-band must leave no trace in any shared state.
+func TestCancelledRerunByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	g := graph.RandomPlanar(150, 0.7, rng)
+	h := graph.Cycle(4)
+	opt := Options{Seed: 42}
+
+	refFound, err := Decide(g, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOccs, err := List(g, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, delay := range []time.Duration{0, 50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		for _, victim := range []string{"decide", "list"} {
+			c := par.NewCanceller()
+			go func(d time.Duration) {
+				time.Sleep(d)
+				c.Cancel()
+			}(delay)
+			copt := opt
+			copt.Cancel = c
+			var got bool
+			var err error
+			if victim == "decide" {
+				got, err = Decide(g, h, copt)
+			} else {
+				var occs []Occurrence
+				occs, err = List(g, h, copt)
+				got = len(occs) > 0
+				if err == nil && !sameOccurrences(occs, refOccs) {
+					// A cancelled List must never return truncated data
+					// with a nil error.
+					t.Fatalf("delay %v: List returned %d occurrences with nil error, want %d", delay, len(occs), len(refOccs))
+				}
+			}
+			// Either the call finished first (answer must match) or it
+			// was cancelled (error must be ErrCancelled).
+			if err != nil {
+				if !errors.Is(err, par.ErrCancelled) {
+					t.Fatalf("delay %v %s: unexpected error %v", delay, victim, err)
+				}
+			} else if got != refFound {
+				t.Fatalf("delay %v %s: uncancelled answer %v, want %v", delay, victim, got, refFound)
+			}
+
+			// Rerun from scratch: byte-identical to the reference.
+			again, err := Decide(g, h, opt)
+			if err != nil || again != refFound {
+				t.Fatalf("delay %v %s: rerun=%v err=%v, want %v", delay, victim, again, err, refFound)
+			}
+		}
+	}
+	// One full listing rerun after all the aborted attempts: the
+	// occurrence set must be byte-identical to the pristine reference.
+	occs, err := List(g, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOccurrences(occs, refOccs) {
+		t.Fatal("rerun List differs from reference after cancelled runs")
+	}
+}
+
+func sameOccurrences(a, b []Occurrence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i], kb[i] = a[i].Key(), b[i].Key()
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBandCancelAblationToggle: clearing the ablation gate must not
+// change answers, only how much sibling work a decide-hit performs.
+func TestBandCancelAblationToggle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	g := graph.RandomPlanar(300, 0.7, rng)
+	h := graph.Cycle(3)
+	want, err := Decide(g, h, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandCancelEnabled.Store(false)
+	defer bandCancelEnabled.Store(true)
+	got, err := Decide(g, h, Options{Seed: 5})
+	if err != nil || got != want {
+		t.Fatalf("ablation toggle changed the answer: got=%v err=%v want=%v", got, err, want)
+	}
+}

@@ -65,6 +65,12 @@ type Options struct {
 	Tracker *wd.Tracker
 	// Stats receives run statistics when non-nil.
 	Stats *Stats
+	// Cancel, when non-nil, aborts the call cooperatively: the pipeline
+	// polls it at run, band, node and path boundaries and returns
+	// par.ErrCancelled once it fires. Cancellation never changes answers
+	// — a rerun with the same Options (and an unfired token) returns
+	// exactly what an uncancelled call would have.
+	Cancel *par.Canceller
 }
 
 // Stats reports what a pipeline call did.
@@ -201,11 +207,19 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 	d := graph.Diameter(h)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
+		if opt.Cancel.Cancelled() {
+			return false, par.ErrCancelled
+		}
 		pc := src.Prepared(k, d, run)
 		opt.addRun(len(pc.Bands))
 		if preparedHasOccurrence(pc, h, opt) {
 			return true, nil
 		}
+	}
+	if err := opt.Cancel.Err(); err != nil {
+		// The last run may have been felled mid-flight: a negative answer
+		// is only trustworthy when every band ran to completion.
+		return false, err
 	}
 	return false, nil
 }
@@ -215,28 +229,67 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 // run DecideOnly: the engines recycle consumed child sets as the
 // bottom-up order advances, so peak memory per band is the active
 // decomposition frontier, not the whole tree.
+//
+// The first band to find an occurrence fires a band-local child
+// canceller, so sibling bands already mid-DP abandon their runs at the
+// next node/path checkpoint instead of completing — the answer is
+// already decided (yes-answers are exact). The child also inherits the
+// request token, so a gone client fells every band the same way.
 func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool {
 	var found atomic.Bool
+	local := par.NewChild(opt.Cancel)
+	inner := opt
+	inner.Cancel = local
 	bands := pc.Bands
 	par.ForGrain(0, len(bands), 1, func(i int) {
 		pb := &bands[i]
-		if found.Load() || pb.Band.G.N() < h.N() {
+		// The found.Load() check is the pre-pool band-granularity early
+		// exit (skip bands not yet started once the answer is known); it
+		// stays unconditional so the bandCancelEnabled ablation gate
+		// isolates exactly the *mid-flight* cancellation on top of it.
+		// pb.Band is nil when a cancelled prepare skipped the band; the
+		// token is observed fired before any such band is reached.
+		if found.Load() || local.Cancelled() || pb.Band == nil || pb.Band.G.N() < h.N() {
 			return
 		}
-		eng, ok := solvePreparedMode(pb, h, false, true, opt)
+		eng, ok := solvePreparedMode(pb, h, false, true, inner)
 		if !ok {
 			// Fallback: the band decomposition was too wide for the
-			// engine; the naive baseline is exact on the band.
+			// engine; the naive baseline is exact on the band (and not
+			// cancellable mid-search, so bail if the answer is decided).
+			if local.Cancelled() {
+				return
+			}
 			if naive.Decide(pb.Band.G, h) {
 				found.Store(true)
+				cancelSiblings(local)
 			}
+			return
+		}
+		// A fired token here means our own DP may have aborted mid-run:
+		// its partial result must not be read (and is not needed).
+		if local.Cancelled() {
 			return
 		}
 		if eng.Found() {
 			found.Store(true)
+			cancelSiblings(local)
 		}
 	})
 	return found.Load()
+}
+
+// bandCancelEnabled gates the first-hit sibling cancellation. It exists
+// only for the engine ablation benchmark (decide-hit latency with and
+// without mid-band cancellation); production code never clears it.
+var bandCancelEnabled atomic.Bool
+
+func init() { bandCancelEnabled.Store(true) }
+
+func cancelSiblings(local *par.Canceller) {
+	if bandCancelEnabled.Load() {
+		local.Cancel()
+	}
 }
 
 // solvePrepared runs the selected engine on a prepared band, keeping the
@@ -259,7 +312,7 @@ func solvePreparedMode(pb *PreparedBand, h *graph.Graph, separating, decideOnly 
 	}
 	b := pb.Band
 	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S,
-		Separating: separating, DecideOnly: decideOnly}
+		Separating: separating, DecideOnly: decideOnly, Cancel: opt.Cancel}
 	if separating || opt.Engine == EngineSequential {
 		// The path-DAG engine covers plain mode only (its state universe
 		// enumeration has no separating labels).

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"planarsi/internal/graph"
+	"planarsi/internal/par"
 )
 
 // decideDisconnected implements Lemma 4.1: color the target's vertices
@@ -30,6 +31,9 @@ func decideDisconnected(g, h *graph.Graph, l int, opt Options) (bool, error) {
 	inner.MaxRuns = 2
 	inner.Stats = nil
 	for rep := 0; rep < reps; rep++ {
+		if opt.Cancel.Cancelled() {
+			return false, par.ErrCancelled
+		}
 		for v := range color {
 			color[v] = int8(rng.IntN(l))
 		}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/par"
+)
+
+// BenchmarkDecideCancellation measures what first-hit cancellation buys
+// on multi-band covers. Both ablation arms keep the band-granularity
+// early exit that predates the pool refactor (bands not yet started are
+// skipped once the answer is known); the bandCancelEnabled gate isolates
+// exactly the new *mid-flight* cancellation — felling DPs already
+// running in sibling bands.
+//
+//   - hit-wide:  C4 in Grid(64,64) — many small bands. Each band's DP
+//     is short, so mid-flight felling has little left to save beyond
+//     the band-start exit: the arms should tie (this is the no-regret
+//     check).
+//   - hit-tall:  Path(8) in Grid(48,48) — few tall bands (k=8, d=7)
+//     whose DPs run long. The first band to certify the hit fells the
+//     expensive siblings mid-run; this is where cancellation pays.
+//   - miss:      C3 in Grid(64,64) — bipartite target, so the full run
+//     budget executes and the token never fires; cancellation must
+//     cost nothing here.
+//
+// Both par engines run the matrix, and every iteration asserts its
+// answer, so a result drift fails loudly.
+func BenchmarkDecideCancellation(b *testing.B) {
+	wide := graph.Grid(64, 64)
+	tall := graph.Grid(48, 48)
+	opt := Options{Seed: 7}
+
+	run := func(b *testing.B, g, h *graph.Graph, want bool) {
+		for i := 0; i < b.N; i++ {
+			got, err := Decide(g, h, opt)
+			if err != nil || got != want {
+				b.Fatalf("Decide=%v err=%v want %v", got, err, want)
+			}
+		}
+	}
+	cases := []struct {
+		name string
+		g, h *graph.Graph
+		want bool
+	}{
+		{"hit-wide", wide, graph.Cycle(4), true},
+		{"hit-tall", tall, graph.Path(8), true},
+		{"miss", wide, graph.Cycle(3), false},
+	}
+	for _, e := range []struct {
+		name string
+		kind par.EngineKind
+	}{{"pool", par.EnginePool}, {"semaphore", par.EngineSemaphore}} {
+		for _, c := range cases {
+			for _, gate := range []struct {
+				name string
+				on   bool
+			}{{"cancel", true}, {"nocancel", false}} {
+				if c.name == "miss" && !gate.on {
+					continue // the token never fires on a miss; one arm suffices
+				}
+				b.Run(c.name+"/"+gate.name+"/"+e.name, func(b *testing.B) {
+					par.SetEngine(e.kind)
+					bandCancelEnabled.Store(gate.on)
+					defer func() {
+						bandCancelEnabled.Store(true)
+						par.SetEngine(par.EnginePool)
+					}()
+					run(b, c.g, c.h, c.want)
+				})
+			}
+		}
+	}
+}

@@ -52,6 +52,9 @@ func ListFrom(src CoverSource, g, h *graph.Graph, opt Options) ([]Occurrence, er
 	j := 0
 	streak := 0
 	for {
+		if opt.Cancel.Cancelled() {
+			return nil, par.ErrCancelled
+		}
 		pc := src.Prepared(k, d, j)
 		j++
 		opt.addRun(len(pc.Bands))
@@ -78,6 +81,13 @@ func ListFrom(src CoverSource, g, h *graph.Graph, opt Options) ([]Occurrence, er
 		if opt.MaxRuns > 0 && j >= opt.MaxRuns {
 			break
 		}
+	}
+	// A token that fired during the last iterations may have truncated
+	// enumeration (bands silently skip when cancelled); the stopping rule
+	// could then break with an incomplete `found`. Never return partial
+	// data with a nil error.
+	if err := opt.Cancel.Err(); err != nil {
+		return nil, err
 	}
 	out := make([]Occurrence, 0, len(found))
 	for _, o := range found {
@@ -127,11 +137,17 @@ func FindOneFrom(src CoverSource, g, h *graph.Graph, opt Options) (Occurrence, e
 	d := graph.Diameter(h)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
+		if opt.Cancel.Cancelled() {
+			return nil, par.ErrCancelled
+		}
 		pc := src.Prepared(k, d, run)
 		opt.addRun(len(pc.Bands))
 		if occ := findInPrepared(pc, h, opt); occ != nil {
 			return occ, nil
 		}
+	}
+	if err := opt.Cancel.Err(); err != nil {
+		return nil, err
 	}
 	return nil, nil
 }
@@ -147,6 +163,9 @@ func enumeratePrepared(pc *PreparedCover, h *graph.Graph, opt Options) []Occurre
 	bands := pc.Bands
 	results := make([][]Occurrence, len(bands))
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		if opt.Cancel.Cancelled() || bands[i].Band == nil {
+			return
+		}
 		results[i] = enumerateBand(&bands[i], h, opt)
 	})
 	var out []Occurrence
@@ -164,6 +183,11 @@ func enumerateBand(pb *PreparedBand, h *graph.Graph, opt Options) []Occurrence {
 	}
 	var local []match.Assignment
 	if eng, ok := solvePrepared(pb, h, false, opt); ok {
+		if opt.Cancel.Cancelled() {
+			// The DP may have aborted mid-run; Enumerate on a partial
+			// result is unsound and the answer is being discarded anyway.
+			return nil
+		}
 		local = eng.Enumerate(0)
 	} else {
 		for _, a := range naive.Search(b.G, h, naive.Options{}) {
@@ -194,22 +218,27 @@ func touchesLowest(lowest []bool, a match.Assignment) bool {
 }
 
 // findInPrepared returns one occurrence from any band of the prepared
-// cover (original ids), or nil.
+// cover (original ids), or nil. The first band to store a hit cancels
+// its siblings mid-DP through a band-local child token (the answer is a
+// single witness; completing the other bands is pure waste).
 func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
 	bands := pc.Bands
+	bandCancel := par.NewChild(opt.Cancel)
+	inner := opt
+	inner.Cancel = bandCancel
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
 		pb := &bands[i]
 		b := pb.Band
-		mu.Lock()
-		done := hit != nil
-		mu.Unlock()
-		if done || b.G.N() < h.N() {
+		if bandCancel.Cancelled() || b == nil || b.G.N() < h.N() {
 			return
 		}
 		var local []match.Assignment
-		if eng, ok := solvePrepared(pb, h, false, opt); ok {
+		if eng, ok := solvePrepared(pb, h, false, inner); ok {
+			if bandCancel.Cancelled() {
+				return
+			}
 			local = eng.Enumerate(1)
 		} else {
 			for _, a := range naive.Search(b.G, h, naive.Options{Limit: 1}) {
@@ -228,6 +257,7 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
 			hit = occ
 		}
 		mu.Unlock()
+		cancelSiblings(bandCancel)
 	})
 	return hit
 }

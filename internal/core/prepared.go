@@ -108,10 +108,17 @@ func (pc *PreparedCover) MemBytes() int64 {
 	return b
 }
 
-// prepare decomposes every band of cov in parallel.
+// prepare decomposes every band of cov in parallel. A fired Cancel token
+// skips the remaining bands, leaving their PreparedBand entries zeroed
+// (Band == nil): consumers observe the same monotonic token before
+// touching any skipped band, and a cancelled prepare is never cached (an
+// Index builds covers with its own token-free Options).
 func prepare(cov *cover.Cover, opt Options) *PreparedCover {
 	pc := &PreparedCover{Cover: cov, Bands: make([]PreparedBand, len(cov.Bands))}
 	par.ForGrain(0, len(cov.Bands), 1, func(i int) {
+		if opt.Cancel.Cancelled() {
+			return
+		}
 		b := cov.Bands[i]
 		td := treedecomp.Build(b.G, opt.Heuristic)
 		nd := treedecomp.MakeNice(td)

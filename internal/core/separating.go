@@ -57,32 +57,42 @@ func DecideSeparatingFrom(src SeparatingSource, g, h *graph.Graph, s []bool, opt
 	d := graph.Diameter(h)
 	runs := opt.maxRuns(g.N())
 	for run := 0; run < runs; run++ {
+		if opt.Cancel.Cancelled() {
+			return nil, par.ErrCancelled
+		}
 		pc := src.PreparedSeparating(s, k, d, run)
 		opt.addRun(len(pc.Bands))
 		if occ := findSeparatingInPrepared(pc, h, opt); occ != nil {
 			return occ, nil
 		}
 	}
+	if err := opt.Cancel.Err(); err != nil {
+		return nil, err
+	}
 	return nil, nil
 }
 
 // findSeparatingInPrepared solves every separating band and returns one
-// witness occurrence in original vertex ids, or nil.
+// witness occurrence in original vertex ids, or nil. As in
+// findInPrepared, the first witness cancels the sibling bands mid-DP.
 func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
 	bands := pc.Bands
+	bandCancel := par.NewChild(opt.Cancel)
+	inner := opt
+	inner.Cancel = bandCancel
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
 		pb := &bands[i]
 		b := pb.Band
-		mu.Lock()
-		done := hit != nil
-		mu.Unlock()
-		if done || b.G.N() < h.N() {
+		if bandCancel.Cancelled() || b == nil || b.G.N() < h.N() {
 			return
 		}
 		var local match.Assignment
-		if eng, ok := solvePrepared(pb, h, true, opt); ok {
+		if eng, ok := solvePrepared(pb, h, true, inner); ok {
+			if bandCancel.Cancelled() {
+				return
+			}
 			if as := eng.Enumerate(1); len(as) > 0 {
 				local = as[0]
 			}
@@ -101,6 +111,7 @@ func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Oc
 			hit = occ
 		}
 		mu.Unlock()
+		cancelSiblings(bandCancel)
 	})
 	return hit
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestConcurrentScanReset(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				for i, res := range ix.Scan(patterns) {
+				for i, res := range ix.Scan(context.Background(), patterns) {
 					if res.Err != nil {
 						t.Errorf("scan: %v", res.Err)
 						return

@@ -1,0 +1,118 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"planarsi/internal/core"
+	"planarsi/internal/graph"
+)
+
+// TestScanCancelledContext: a context that is already dead fails every
+// pattern of the batch with the context's error, without corrupting the
+// Index (a follow-up Scan with a live context answers exactly like the
+// direct API).
+func TestScanCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	g := graph.RandomPlanar(300, 0.7, rng)
+	opt := core.Options{Seed: 3, MaxRuns: 6}
+	ix := New(g, opt)
+	patterns := []*graph.Graph{graph.Cycle(3), graph.Cycle(4), graph.Path(4), graph.Star(4)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, res := range ix.Scan(ctx, patterns) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("pattern %d: Err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+
+	// The cancelled batch must not have poisoned any cached artifact:
+	// answers now equal the direct API's for the same Options.
+	for i, res := range ix.Scan(context.Background(), patterns) {
+		if res.Err != nil {
+			t.Fatalf("pattern %d: %v", i, res.Err)
+		}
+		want, err := core.Decide(g, patterns[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != want {
+			t.Fatalf("pattern %d: post-cancel Scan=%v direct=%v", i, res.Found, want)
+		}
+	}
+}
+
+// TestScanMidFlightCancel races a cancellation against a running batch;
+// whatever the outcome, a fresh Scan must still be byte-identical to the
+// direct API (the soundness property — no partial artifact or stale
+// arena state may leak).
+func TestScanMidFlightCancel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 53))
+	g := graph.RandomPlanar(400, 0.7, rng)
+	opt := core.Options{Seed: 4, MaxRuns: 6}
+	patterns := []*graph.Graph{graph.Cycle(4), graph.Star(4), graph.Path(3)}
+
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		ix := New(g, opt)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(delay)
+		for i, res := range ix.Scan(ctx, patterns) {
+			if res.Err != nil && !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("delay %v pattern %d: unexpected error %v", delay, i, res.Err)
+			}
+		}
+		for i, res := range ix.Scan(context.Background(), patterns) {
+			if res.Err != nil {
+				t.Fatalf("delay %v pattern %d: %v", delay, i, res.Err)
+			}
+			want, err := core.Decide(g, patterns[i], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found != want {
+				t.Fatalf("delay %v pattern %d: rerun=%v direct=%v", delay, i, res.Found, want)
+			}
+		}
+	}
+}
+
+// TestCtxVariantsBackground: the *Ctx variants with a background context
+// must behave exactly like the plain methods.
+func TestCtxVariantsBackground(t *testing.T) {
+	rng := rand.New(rand.NewPCG(59, 61))
+	g := graph.RandomPlanar(200, 0.6, rng)
+	opt := core.Options{Seed: 9, MaxRuns: 6}
+	ix := New(g, opt)
+	h := graph.Cycle(4)
+
+	found, err := ix.DecideCtx(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Decide(h)
+	if err != nil || found != want {
+		t.Fatalf("DecideCtx=%v Decide=%v err=%v", found, want, err)
+	}
+	n, err := ix.CountOccurrencesCtx(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ix.CountOccurrences(h)
+	if err != nil || n != m {
+		t.Fatalf("CountOccurrencesCtx=%d CountOccurrences=%d err=%v", n, m, err)
+	}
+
+	// Deadline already expired: the context error surfaces.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := ix.DecideCtx(expired, h); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired DecideCtx err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -32,6 +32,8 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -233,41 +235,110 @@ func packMask(s []bool) string {
 	return string(b)
 }
 
+// queryOptions derives one query's pipeline Options from the Index's,
+// attaching a cancellation token watching ctx. The returned stop func
+// must be deferred by the caller. Cached artifact builds always run with
+// the Index's own token-free Options (see Prepared), so a cancelled
+// query can never leave a partial artifact behind — only the query's own
+// dynamic programs are abandoned.
+func (ix *Index) queryOptions(ctx context.Context) (core.Options, func()) {
+	opt := ix.opt
+	if ctx == nil || ctx.Done() == nil {
+		return opt, func() {}
+	}
+	c, stop := par.WatchContext(ctx)
+	opt.Cancel = c
+	return opt, stop
+}
+
+// ctxErr translates the pipeline's cooperative-cancellation sentinel
+// into the context's own error at the API boundary.
+func ctxErr(ctx context.Context, err error) error {
+	if errors.Is(err, par.ErrCancelled) && ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
 // Decide reports whether the pattern h occurs in the target. Answers
 // equal core.Decide's for the Index's Options: true answers are exact,
 // false answers hold w.h.p.
 func (ix *Index) Decide(h *graph.Graph) (bool, error) {
+	return ix.DecideCtx(context.Background(), h)
+}
+
+// DecideCtx is Decide honoring ctx: when the context is cancelled or
+// times out mid-query, the dynamic programs running across the cover's
+// bands stop at their next checkpoint and the context's error is
+// returned. Cancellation never changes answers — rerunning with a live
+// context returns exactly what an unwatched Decide would.
+func (ix *Index) DecideCtx(ctx context.Context, h *graph.Graph) (bool, error) {
 	ix.queries.Add(1)
-	return core.DecideFrom(ix, ix.g, h, ix.opt)
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
+	found, err := core.DecideFrom(ix, ix.g, h, opt)
+	return found, ctxErr(ctx, err)
 }
 
 // FindOccurrence returns one occurrence of the connected pattern h, or
 // nil when none was found within the run budget.
 func (ix *Index) FindOccurrence(h *graph.Graph) (core.Occurrence, error) {
+	return ix.FindOccurrenceCtx(context.Background(), h)
+}
+
+// FindOccurrenceCtx is FindOccurrence honoring ctx (see DecideCtx).
+func (ix *Index) FindOccurrenceCtx(ctx context.Context, h *graph.Graph) (core.Occurrence, error) {
 	ix.queries.Add(1)
-	return core.FindOneFrom(ix, ix.g, h, ix.opt)
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
+	occ, err := core.FindOneFrom(ix, ix.g, h, opt)
+	return occ, ctxErr(ctx, err)
 }
 
 // ListOccurrences returns (w.h.p.) every occurrence of the connected
 // pattern h, deduplicated (Theorem 4.2 stopping rule).
 func (ix *Index) ListOccurrences(h *graph.Graph) ([]core.Occurrence, error) {
+	return ix.ListOccurrencesCtx(context.Background(), h)
+}
+
+// ListOccurrencesCtx is ListOccurrences honoring ctx (see DecideCtx).
+func (ix *Index) ListOccurrencesCtx(ctx context.Context, h *graph.Graph) ([]core.Occurrence, error) {
 	ix.queries.Add(1)
-	return core.ListFrom(ix, ix.g, h, ix.opt)
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
+	occs, err := core.ListFrom(ix, ix.g, h, opt)
+	return occs, ctxErr(ctx, err)
 }
 
 // CountOccurrences returns (w.h.p.) the number of occurrences of the
 // connected pattern h.
 func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
+	return ix.CountOccurrencesCtx(context.Background(), h)
+}
+
+// CountOccurrencesCtx is CountOccurrences honoring ctx (see DecideCtx).
+func (ix *Index) CountOccurrencesCtx(ctx context.Context, h *graph.Graph) (int, error) {
 	ix.queries.Add(1)
-	return core.CountFrom(ix, ix.g, h, ix.opt)
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
+	c, err := core.CountFrom(ix, ix.g, h, opt)
+	return c, ctxErr(ctx, err)
 }
 
 // DecideSeparating searches for an occurrence of the connected pattern h
 // whose removal disconnects at least two vertices of the terminal set s
 // (Lemma 5.3), returning a witness occurrence or nil.
 func (ix *Index) DecideSeparating(h *graph.Graph, s []bool) (core.Occurrence, error) {
+	return ix.DecideSeparatingCtx(context.Background(), h, s)
+}
+
+// DecideSeparatingCtx is DecideSeparating honoring ctx (see DecideCtx).
+func (ix *Index) DecideSeparatingCtx(ctx context.Context, h *graph.Graph, s []bool) (core.Occurrence, error) {
 	ix.queries.Add(1)
-	return core.DecideSeparatingFrom(ix, ix.g, h, s, ix.opt)
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
+	occ, err := core.DecideSeparatingFrom(ix, ix.g, h, s, opt)
+	return occ, ctxErr(ctx, err)
 }
 
 // ScanResult is one pattern's answer in a batched scan.
@@ -285,12 +356,17 @@ type ScanResult struct {
 // Scan decides every pattern of the batch, running the queries
 // concurrently over the shared preprocessing. Results are positionally
 // aligned with patterns, and each equals what Decide would return for
-// that pattern alone.
-func (ix *Index) Scan(patterns []*graph.Graph) []ScanResult {
+// that pattern alone. A cancelled or expired ctx stops the in-flight
+// dynamic programs of every pattern at their next checkpoint; affected
+// patterns carry the context's error in their ScanResult.Err.
+func (ix *Index) Scan(ctx context.Context, patterns []*graph.Graph) []ScanResult {
 	out := make([]ScanResult, len(patterns))
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
 	par.ForGrain(0, len(patterns), 1, func(i int) {
-		found, err := ix.Decide(patterns[i])
-		out[i] = ScanResult{Found: found, Err: err}
+		ix.queries.Add(1)
+		found, err := core.DecideFrom(ix, ix.g, patterns[i], opt)
+		out[i] = ScanResult{Found: found, Err: ctxErr(ctx, err)}
 	})
 	return out
 }
@@ -298,12 +374,15 @@ func (ix *Index) Scan(patterns []*graph.Graph) []ScanResult {
 // ScanCount counts every pattern of the batch, running the queries
 // concurrently over the shared preprocessing. Each result's Count (and
 // Found = Count > 0) equals what CountOccurrences would return for that
-// pattern alone.
-func (ix *Index) ScanCount(patterns []*graph.Graph) []ScanResult {
+// pattern alone. Cancellation behaves as in Scan.
+func (ix *Index) ScanCount(ctx context.Context, patterns []*graph.Graph) []ScanResult {
 	out := make([]ScanResult, len(patterns))
+	opt, stop := ix.queryOptions(ctx)
+	defer stop()
 	par.ForGrain(0, len(patterns), 1, func(i int) {
-		c, err := ix.CountOccurrences(patterns[i])
-		out[i] = ScanResult{Found: c > 0, Count: c, Err: err}
+		ix.queries.Add(1)
+		c, err := core.CountFrom(ix, ix.g, patterns[i], opt)
+		out[i] = ScanResult{Found: c > 0, Count: c, Err: ctxErr(ctx, err)}
 	})
 	return out
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -192,7 +193,7 @@ func TestScanMatchesPerPattern(t *testing.T) {
 			}
 			opt := core.Options{Seed: 11, MaxRuns: 8}
 			ix := New(tg.g, opt)
-			for i, res := range ix.Scan(batch) {
+			for i, res := range ix.Scan(context.Background(), batch) {
 				if res.Err != nil {
 					t.Fatalf("%s: Scan: %v", patterns[i].name, res.Err)
 				}
@@ -214,7 +215,7 @@ func TestScanMatchesPerPattern(t *testing.T) {
 			if !countTarget {
 				return
 			}
-			for i, res := range ix.ScanCount(batch) {
+			for i, res := range ix.ScanCount(context.Background(), batch) {
 				if res.Err != nil {
 					t.Fatalf("%s: ScanCount: %v", patterns[i].name, res.Err)
 				}
@@ -238,7 +239,7 @@ func TestScanMatchesPerPattern(t *testing.T) {
 func TestScanOversizedPattern(t *testing.T) {
 	ix := New(graph.Grid(4, 4), core.Options{Seed: 1})
 	batch := []*graph.Graph{graph.Cycle(4), graph.Path(20), graph.Path(3)}
-	res := ix.Scan(batch)
+	res := ix.Scan(context.Background(), batch)
 	if res[0].Err != nil || !res[0].Found {
 		t.Errorf("C4: %+v", res[0])
 	}
@@ -420,7 +421,7 @@ func TestConcurrentIndexQueries(t *testing.T) {
 						t.Errorf("%s: concurrent Decide = %v, want %v", patterns[i].name, got, want[i])
 					}
 				}
-				for i, res := range ix.Scan(batch) {
+				for i, res := range ix.Scan(context.Background(), batch) {
 					if res.Err != nil {
 						t.Fatal(res.Err)
 					}

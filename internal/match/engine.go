@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"planarsi/internal/graph"
+	"planarsi/internal/par"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/wd"
 )
@@ -30,6 +31,13 @@ type Problem struct {
 	// bounding peak memory by the active frontier instead of the whole
 	// tree. Only the root set survives: Found works, Enumerate panics.
 	DecideOnly bool
+	// Cancel, when non-nil, lets the engines abandon the DP mid-flight:
+	// they poll it at node (sequential engine) and path (pmdag)
+	// boundaries and return early with a partial Result once it fires.
+	// Callers that observe Cancel fired must discard the Result — only
+	// completeness of the run, never the content of completed node sets,
+	// is affected, so an uncancelled rerun produces identical answers.
+	Cancel *par.Canceller
 }
 
 func (p *Problem) allowed(v int32) bool {
@@ -144,6 +152,9 @@ func (r *Result) AllMatchedMask() uint16 { return r.pi.allMatched() }
 func (r *Result) Found() bool {
 	root := r.p.ND.Root
 	want := r.pi.allMatched()
+	// A cancelled run may never have solved the root; States() on the nil
+	// set is empty, so a partial result reports not-found rather than
+	// crashing (callers that saw Cancel fire discard the answer anyway).
 	for _, s := range r.Sets[root].States() {
 		if s.C == want && (!r.p.Separating || (s.IX && s.OX)) {
 			return true
@@ -159,6 +170,9 @@ func Run(p *Problem, tr *wd.Tracker) *Result {
 	nd := p.ND
 	var ji JoinIndex
 	for _, i := range nd.Order {
+		if p.Cancel.Cancelled() {
+			return r // partial: the caller observed Cancel and discards it
+		}
 		var set *StateSet
 		// emitted batches this node's state emissions; one flush per node
 		// keeps atomics out of the per-emission path.

@@ -1,0 +1,94 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCancellerBasics(t *testing.T) {
+	var nilC *Canceller
+	if nilC.Cancelled() {
+		t.Fatal("nil Canceller must never be cancelled")
+	}
+	if nilC.Err() != nil {
+		t.Fatal("nil Canceller must have nil Err")
+	}
+	c := NewCanceller()
+	if c.Cancelled() || c.Err() != nil {
+		t.Fatal("fresh Canceller must be unfired")
+	}
+	c.Cancel()
+	if !c.Cancelled() {
+		t.Fatal("Cancel did not fire")
+	}
+	if !errors.Is(c.Err(), ErrCancelled) {
+		t.Fatalf("Err() = %v, want ErrCancelled", c.Err())
+	}
+	c.Cancel() // idempotent
+	if !c.Cancelled() {
+		t.Fatal("second Cancel cleared the flag")
+	}
+}
+
+func TestCancellerChildPropagation(t *testing.T) {
+	root := NewCanceller()
+	child := NewChild(root)
+	grand := NewChild(child)
+	if child.Cancelled() || grand.Cancelled() {
+		t.Fatal("children of an unfired root must be unfired")
+	}
+	// Firing a child must not propagate upward.
+	child.Cancel()
+	if root.Cancelled() {
+		t.Fatal("child Cancel leaked to the root")
+	}
+	if !grand.Cancelled() {
+		t.Fatal("grandchild must observe its parent's Cancel")
+	}
+	// Firing the root reaches every descendant.
+	sibling := NewChild(root)
+	root.Cancel()
+	if !sibling.Cancelled() {
+		t.Fatal("sibling must observe the root's Cancel")
+	}
+	if NewChild(nil).Cancelled() {
+		t.Fatal("NewChild(nil) must behave as an unfired root")
+	}
+}
+
+func TestWatchContext(t *testing.T) {
+	// Background: no watcher, never cancelled.
+	c, stop := WatchContext(context.Background())
+	defer stop()
+	if c.Cancelled() {
+		t.Fatal("background context produced a fired token")
+	}
+
+	// Already-done context: fired immediately, no goroutine.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	c2, stop2 := WatchContext(done)
+	defer stop2()
+	if !c2.Cancelled() {
+		t.Fatal("done context must produce a fired token")
+	}
+
+	// Live context cancelled later: the watcher fires the token.
+	ctx, cancel3 := context.WithCancel(context.Background())
+	c3, stop3 := WatchContext(ctx)
+	if c3.Cancelled() {
+		t.Fatal("token fired before the context died")
+	}
+	cancel3()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c3.Cancelled() {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher did not fire the token")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop3()
+	stop3() // idempotent
+}

@@ -1,0 +1,153 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The engine ablation: the work-stealing pool vs the semaphore engine on
+// synthetic band workloads. "balanced" gives every item equal cost —
+// both engines should tie. "skewed" mimics Eppstein cover bands, whose
+// sizes in practice follow a heavy-tailed distribution: a few large
+// bands and a long tail of tiny ones. The semaphore engine loses there
+// when an unlucky goroutine serializes behind a big item it cannot
+// shed, while the pool's idle participants steal the big item's
+// recursive halves.
+
+// spinWork burns deterministic CPU proportional to units and returns a
+// value the benchmarks accumulate so the loop cannot be optimized away.
+func spinWork(units int) uint64 {
+	x := uint64(units) | 1
+	for i := 0; i < units; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// ablationSizes returns the per-item costs for both distributions,
+// normalized to (nearly) equal totals so engine runtimes compare.
+func ablationSizes(items, totalUnits int, skewed bool) []int {
+	sizes := make([]int, items)
+	if !skewed {
+		for i := range sizes {
+			sizes[i] = totalUnits / items
+		}
+		return sizes
+	}
+	// Zipf-ish: item i costs ∝ 1/(i+1).
+	var norm float64
+	for i := 0; i < items; i++ {
+		norm += 1 / float64(i+1)
+	}
+	for i := range sizes {
+		sizes[i] = int(float64(totalUnits) / float64(i+1) / norm)
+	}
+	return sizes
+}
+
+func benchEngineLoad(b *testing.B, kind EngineKind, sizes []int, nested bool) {
+	SetEngine(kind)
+	defer SetEngine(EnginePool)
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		var sink atomic.Uint64
+		ForGrain(0, len(sizes), 1, func(i int) {
+			if nested {
+				// Large items fan out internally, the common shape when a
+				// band's DP runs its own parallel loops.
+				var inner atomic.Uint64
+				For(0, 8, func(j int) {
+					inner.Add(spinWork(sizes[i] / 8))
+				})
+				sink.Add(inner.Load())
+			} else {
+				sink.Add(spinWork(sizes[i]))
+			}
+		})
+		if sink.Load() == 0 {
+			b.Fatal("workload vanished")
+		}
+	}
+}
+
+// BenchmarkEngineLatencyLoad is the load-balancing half of the ablation
+// on latency-bound items: each item *waits* (sleeps) instead of burning
+// CPU, modeling bands dominated by memory stalls or—in future
+// backends—IO, and isolating scheduling quality from core count (on a
+// single-core CI box the CPU ablation above can only show parity). The
+// semaphore engine's recursive halving commits a whole half-range to
+// one goroutine whenever no slot is free at fork time, so a skewed
+// distribution strands small items behind big ones; the pool's idle
+// participants steal the stragglers' halves instead.
+func BenchmarkEngineLatencyLoad(b *testing.B) {
+	const items = 64
+	const totalSleep = 64 * time.Millisecond
+	defer SetParallelism(0)
+	for _, shape := range []struct {
+		name   string
+		skewed bool
+	}{{"balanced", false}, {"skewed", true}} {
+		sizes := ablationSizes(items, int(totalSleep), shape.skewed)
+		// Cap the head of the distribution below the ideal makespan
+		// (total/P): otherwise the biggest item IS the critical path and
+		// every scheduler ties. The capped tail still stretches 64:1.
+		for i := range sizes {
+			if cap := int(totalSleep) / 16; sizes[i] > cap {
+				sizes[i] = cap
+			}
+		}
+		for _, e := range []struct {
+			name string
+			kind EngineKind
+		}{{"pool", EnginePool}, {"semaphore", EngineSemaphore}} {
+			b.Run(shape.name+"/"+e.name, func(b *testing.B) {
+				SetEngine(e.kind)
+				SetParallelism(8) // scheduling quality, not core count
+				defer func() {
+					SetEngine(EnginePool)
+					SetParallelism(0)
+				}()
+				b.ResetTimer()
+				for iter := 0; iter < b.N; iter++ {
+					var done atomic.Int64
+					ForGrain(0, items, 1, func(i int) {
+						time.Sleep(time.Duration(sizes[i]))
+						done.Add(1)
+					})
+					if done.Load() != items {
+						b.Fatal("lost items")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineAblation is the bench-engines target's core matrix:
+// {balanced, skewed} × {flat, nested} × {pool, semaphore}.
+func BenchmarkEngineAblation(b *testing.B) {
+	const items = 64
+	const totalUnits = 1 << 22
+	for _, shape := range []struct {
+		name   string
+		skewed bool
+	}{{"balanced", false}, {"skewed", true}} {
+		sizes := ablationSizes(items, totalUnits, shape.skewed)
+		for _, nest := range []struct {
+			name   string
+			nested bool
+		}{{"flat", false}, {"nested", true}} {
+			for _, e := range []struct {
+				name string
+				kind EngineKind
+			}{{"pool", EnginePool}, {"semaphore", EngineSemaphore}} {
+				b.Run(shape.name+"/"+nest.name+"/"+e.name, func(b *testing.B) {
+					benchEngineLoad(b, e.kind, sizes, nest.nested)
+				})
+			}
+		}
+	}
+}

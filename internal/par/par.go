@@ -1,18 +1,26 @@
 // Package par provides the shared-memory parallel primitives that stand in
 // for the paper's CREW PRAM: fork-join parallel loops, parallel reductions,
-// parallel prefix sums, packing, and an explicit work-stealing pool.
+// parallel prefix sums, packing, an explicit work-stealing pool, and a
+// lightweight cooperative cancellation token (Canceller).
 //
-// Two execution engines are provided.
+// Two execution engines back the package-level functions (Do, For,
+// Reduce, ...).
 //
-// The package-level functions (Do, For, Reduce, ...) use goroutines
-// throttled by a semaphore sized to runtime.GOMAXPROCS(0), with an inline
-// sequential fallback when no worker slot is free. This idiom is
-// deadlock-free under arbitrary nesting and is the engine the algorithm
-// packages use.
+// The default engine (EnginePool) runs every operation as a structured
+// fork-join scope on a shared, lazily started work-stealing Pool
+// (Chase-Lev deques, help-while-joining — the greedy scheduler the
+// paper's Brent-style bounds assume). Scopes make nesting deadlock-free
+// and keep load balanced when item costs are skewed: an idle participant
+// steals half-ranges from whoever is behind, instead of the semaphore
+// engine's degrade-to-inline-sequential behavior.
 //
-// Pool implements a classic work-stealing fork-join runtime (Chase-Lev
-// deques, help-while-joining) as an explicit, benchmarkable substrate; the
-// ablation benchmarks compare the two engines.
+// The semaphore engine (EngineSemaphore) is the previous substrate —
+// goroutines throttled by a semaphore sized to the worker count, with an
+// inline sequential fallback when no slot is free. It stays selectable
+// via SetEngine for the engine ablation benchmarks.
+//
+// Both engines draw their worker count from the same source: SetParallelism
+// when pinned, else runtime.GOMAXPROCS(0) re-read per operation.
 package par
 
 import (
@@ -45,10 +53,10 @@ func newEngine(procs int, pinned bool) *engine {
 	return &engine{procs: procs, sem: make(chan struct{}, procs-1), pinned: pinned}
 }
 
-// current returns the engine to use for one operation, first re-reading
-// runtime.GOMAXPROCS(0) so daemons that resize the scheduler at runtime
-// get the parallelism they asked for. The GOMAXPROCS query takes a
-// runtime-internal lock, so current() is called once per parallel
+// current returns the engine sizing to use for one operation, first
+// re-reading runtime.GOMAXPROCS(0) so daemons that resize the scheduler
+// at runtime get the parallelism they asked for. The GOMAXPROCS query
+// takes a runtime-internal lock, so current() is called once per parallel
 // operation (a loop launch, not a loop element) and the helpers thread
 // the engine through; pinning with SetParallelism skips the query
 // entirely. The CAS race on resize is benign (both candidates are
@@ -68,26 +76,126 @@ func current() *engine {
 	return e
 }
 
-// Parallelism reports the number of workers the package-level engine uses:
+// Parallelism reports the number of workers the package-level engines use:
 // the value fixed by SetParallelism, or runtime.GOMAXPROCS(0) (re-read on
 // every operation, not frozen at package init).
 func Parallelism() int { return current().procs }
 
-// SetParallelism fixes the package-level engine's worker count to n,
-// decoupling it from runtime.GOMAXPROCS; n <= 0 reverts to tracking
-// runtime.GOMAXPROCS(0). Operations already in flight finish on the engine
-// they started with.
+// SetParallelism fixes the package-level worker count to n, decoupling it
+// from runtime.GOMAXPROCS; n <= 0 reverts to tracking
+// runtime.GOMAXPROCS(0). Operations already in flight finish on the
+// engine they started with; the shared pool is re-sized lazily by the
+// next operation.
 func SetParallelism(n int) {
 	if n <= 0 {
 		eng.Store(newEngine(runtime.GOMAXPROCS(0), false))
+	} else {
+		eng.Store(newEngine(n, true))
+	}
+	if eng.Load().procs == 1 {
+		// Downsized to sequential: retire the pool now rather than
+		// waiting for the next operation's dispatch to do it.
+		retireSharedPool()
+	}
+}
+
+// EngineKind selects the package-level execution engine.
+type EngineKind uint32
+
+const (
+	// EnginePool runs operations as fork-join scopes on the shared
+	// work-stealing pool (the default).
+	EnginePool EngineKind = iota
+	// EngineSemaphore runs operations on semaphore-throttled goroutines
+	// with inline sequential fallback (the pre-pool substrate, kept
+	// selectable for the ablation benchmarks).
+	EngineSemaphore
+)
+
+var engineKind atomic.Uint32 // EnginePool by default
+
+// CurrentEngine reports which engine the package-level functions use.
+func CurrentEngine() EngineKind { return EngineKind(engineKind.Load()) }
+
+// SetEngine selects the package-level execution engine. Operations in
+// flight finish on the engine they started with.
+func SetEngine(k EngineKind) { engineKind.Store(uint32(k)) }
+
+// sharedPool is the lazily started pool behind the EnginePool package
+// functions, swapped whenever the requested worker count changes.
+var sharedPool atomic.Pointer[Pool]
+
+// poolFor returns a shared pool with the given parallelism, starting or
+// resizing it as needed. A replaced pool is retired asynchronously: its
+// workers drain their remaining tasks and exit, while scopes still
+// registered on it keep making progress on their own goroutines.
+func poolFor(procs int) *Pool {
+	for {
+		p := sharedPool.Load()
+		if p != nil && p.procs == procs {
+			return p
+		}
+		np := NewPool(procs)
+		if sharedPool.CompareAndSwap(p, np) {
+			if p != nil {
+				go p.Close()
+			}
+			return np
+		}
+		go np.Close() // lost the race; another resize installed a pool
+	}
+}
+
+// retireSharedPool closes and clears the shared pool. The procs==1
+// dispatch paths call it so downsizing to a sequential configuration
+// (SetParallelism(1) or runtime.GOMAXPROCS(1)) does not strand the
+// previous pool's parked workers for the process lifetime; the next
+// parallel operation lazily starts a fresh pool.
+func retireSharedPool() {
+	if p := sharedPool.Load(); p != nil && sharedPool.CompareAndSwap(p, nil) {
+		go p.Close()
+	}
+}
+
+// runBlocks is the engine dispatch shared by every block-structured
+// combinator: split [lo, hi) into blocks of at most grain indices and run
+// body on each, possibly in parallel, with logarithmic fork depth
+// (matching the PRAM convention that a parallel-for costs O(log n) depth
+// to fork).
+func runBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
+	if lo >= hi {
 		return
 	}
-	eng.Store(newEngine(n, true))
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		// A single block: run inline without touching either engine's
+		// machinery.
+		body(lo, hi)
+		return
+	}
+	if e.procs == 1 {
+		// Sequential fallback, still honoring the ≤ grain block contract.
+		retireSharedPool()
+		for l := lo; l < hi; l += grain {
+			body(l, min(l+grain, hi))
+		}
+		return
+	}
+	if CurrentEngine() == EngineSemaphore {
+		semBlocks(e, lo, hi, grain, body)
+		return
+	}
+	p := poolFor(e.procs)
+	c := p.enter()
+	defer p.exit(c)
+	c.ForBlocks(lo, hi, grain, body)
 }
 
 // Do runs the given functions, possibly in parallel, and returns when all
-// of them have returned. It is the fork-join primitive: fork every function
-// but the first into a worker slot if one is free, run the rest inline.
+// of them have returned. It is the fork-join primitive: fork every
+// function but the first, run the first inline, join.
 func Do(fs ...func()) {
 	switch len(fs) {
 	case 0:
@@ -97,6 +205,30 @@ func Do(fs ...func()) {
 		return
 	}
 	e := current()
+	if e.procs == 1 {
+		retireSharedPool()
+		for _, f := range fs {
+			f()
+		}
+		return
+	}
+	if CurrentEngine() == EngineSemaphore {
+		semDo(e, fs)
+		return
+	}
+	p := poolFor(e.procs)
+	c := p.enter()
+	defer p.exit(c)
+	tasks := make([]Task, len(fs))
+	for i, f := range fs {
+		f := f
+		tasks[i] = func(*Ctx) { f() }
+	}
+	c.Do(tasks...)
+}
+
+// semDo is Do on the semaphore engine.
+func semDo(e *engine, fs []func()) {
 	var wg sync.WaitGroup
 	for _, f := range fs[1:] {
 		select {
@@ -125,7 +257,7 @@ func For(lo, hi int, f func(i int)) {
 		return
 	}
 	e := current()
-	forBlocks(e, lo, hi, grainFor(e, n), func(l, h int) {
+	runBlocks(e, lo, hi, grainFor(e, n), func(l, h int) {
 		for i := l; i < h; i++ {
 			f(i)
 		}
@@ -143,24 +275,19 @@ func ForGrain(lo, hi, grain int, f func(i int)) {
 }
 
 // ForBlocks splits [lo, hi) into blocks of at most grain indices and runs
-// body on each block, possibly in parallel. Recursive halving gives
-// logarithmic fork depth, matching the PRAM convention that a parallel-for
-// costs O(log n) depth to fork.
+// body on each block, possibly in parallel.
 func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
-	forBlocks(current(), lo, hi, grain, body)
+	runBlocks(current(), lo, hi, grain, body)
 }
 
-// forBlocks is ForBlocks running on an already-resolved engine.
-func forBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
-	if grain < 1 {
-		grain = 1
-	}
+// semBlocks is the semaphore engine's block runner: recursive halving,
+// forking the right half into a worker slot when one is free and
+// degrading to inline sequential execution otherwise.
+func semBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
 	var run func(lo, hi int)
 	run = func(lo, hi int) {
 		for hi-lo > grain {
 			mid := lo + (hi-lo)/2
-			// Try to fork the right half; degrade to sequential
-			// execution of both halves if no worker is free.
 			select {
 			case e.sem <- struct{}{}:
 				var wg sync.WaitGroup
@@ -184,9 +311,7 @@ func forBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
 			body(lo, hi)
 		}
 	}
-	if lo < hi {
-		run(lo, hi)
-	}
+	run(lo, hi)
 }
 
 // alignedBlocks partitions [lo, hi) into ⌈n/grain⌉ consecutive blocks of
@@ -202,7 +327,7 @@ func alignedBlocks(e *engine, lo, hi, grain int, body func(b, l, h int)) {
 		grain = 1
 	}
 	nblocks := (n + grain - 1) / grain
-	forBlocks(e, 0, nblocks, 1, func(bl, bh int) {
+	runBlocks(e, 0, nblocks, 1, func(bl, bh int) {
 		for b := bl; b < bh; b++ {
 			l := lo + b*grain
 			h := l + grain

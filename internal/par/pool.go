@@ -4,19 +4,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// This file implements an explicit work-stealing fork-join pool in the
-// style of Cilk / Blumofe-Leiserson schedulers: each worker owns a
+// This file implements the work-stealing fork-join runtime in the style
+// of Cilk / Blumofe-Leiserson schedulers: every executing thread owns a
 // Chase-Lev deque, pushes forked tasks to its own bottom, pops LIFO, and
-// steals FIFO from the top of a random victim. A joining worker helps by
-// running tasks until the joined future completes, so joins never block a
-// worker thread.
+// steals FIFO from the top of a random victim. A joining thread helps by
+// running tasks until the joined future completes, so joins never block
+// a thread.
+//
+// Two kinds of threads own deques. Background *workers* ((procs-1) per
+// pool — the submitting goroutine always works too) live for the pool's
+// lifetime and do nothing but steal and execute. *Scopes* are transient:
+// every structured fork-join operation (a Pool.Run, or one package-level
+// Do/For/Reduce call on the pool engine) registers a deque for its
+// duration, forks into it, and helps until its own joins resolve. The
+// scope's owner never blocks — it pops its own deque, steals from every
+// registered deque, or runs an unclaimed future inline — which makes
+// arbitrary nesting deadlock-free: a nested operation on a worker
+// goroutine simply opens another scope whose tasks remain stealable by
+// everyone.
 //
 // Brent's theorem is what connects this scheduler back to the paper's
 // bounds: a computation with work W and depth D executes in O(W/P + D)
-// steps on P workers under any greedy scheduler, of which work stealing is
-// the standard practical instance.
+// steps on P workers under any greedy scheduler, of which work stealing
+// is the standard practical instance.
 
 // Task is the unit of work executed by a Pool.
 type Task func(*Ctx)
@@ -118,148 +131,257 @@ func (fu *Future) run(ctx *Ctx) {
 	}
 }
 
-// Pool is a work-stealing fork-join pool with a fixed number of workers.
-// The zero value is not usable; construct with NewPool.
+// Pool is a work-stealing fork-join pool. Construct with NewPool; the
+// zero value is not usable. A Pool with parallelism p runs p-1
+// background workers — the goroutine calling Run (or a package-level
+// combinator routed to the pool) is always the p-th participant.
 type Pool struct {
-	workers []*worker
-	inbox   chan *rootJob
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	rng     atomic.Uint64
+	procs int
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// victims is the copy-on-write list of all stealable deques: the
+	// permanent worker deques plus the currently registered scopes.
+	// Readers load it wait-free on every steal attempt; register and
+	// unregister copy under mu.
+	mu      sync.Mutex
+	victims atomic.Pointer[[]*deque]
+
+	// parked counts workers blocked on wake; fork and scope entry only
+	// touch the wake channel when it is non-zero, keeping the fork fast
+	// path to one atomic load.
+	parked atomic.Int32
+	wake   chan struct{}
+
+	seq atomic.Uint64 // victim-selection seed source
 }
 
-type rootJob struct {
-	task Task
-	done chan struct{}
-}
-
-type worker struct {
-	pool *Pool
-	id   int
-	dq   *deque
-	rnd  uint64
-}
-
-// NewPool creates a pool with p workers (p <= 0 selects GOMAXPROCS).
+// NewPool creates a pool with parallelism p (p <= 0 selects GOMAXPROCS):
+// p-1 background workers, the caller being the last participant.
 func NewPool(p int) *Pool {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
 	pool := &Pool{
-		inbox: make(chan *rootJob),
+		procs: p,
 		quit:  make(chan struct{}),
+		wake:  make(chan struct{}, p),
 	}
-	pool.workers = make([]*worker, p)
-	for i := range pool.workers {
-		pool.workers[i] = &worker{pool: pool, id: i, dq: newDeque(), rnd: uint64(i)*0x9e3779b97f4a7c15 + 1}
-	}
-	pool.wg.Add(p)
-	for _, w := range pool.workers {
-		go w.loop()
+	empty := make([]*deque, 0, p)
+	pool.victims.Store(&empty)
+	pool.wg.Add(p - 1)
+	for i := 0; i < p-1; i++ {
+		c := &Ctx{p: pool, dq: newDeque(), rnd: pool.nextSeed()}
+		pool.register(c.dq)
+		go pool.workerLoop(c)
 	}
 	return pool
 }
 
-// Close shuts the pool down. Pending Run calls must have returned.
+// Parallelism returns the pool's total participant count (workers + the
+// submitting goroutine).
+func (p *Pool) Parallelism() int { return p.procs }
+
+// Close retires the pool: background workers exit once they run out of
+// tasks. Scopes still running keep making progress on their own
+// goroutines (the owner helps itself), so Close never strands work, but
+// new operations should use a fresh pool.
 func (p *Pool) Close() {
 	close(p.quit)
+	// Release any parked workers so they can observe quit.
+	for i := 0; i < cap(p.wake); i++ {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
 	p.wg.Wait()
 }
 
-// Run executes task on the pool and blocks until it (and everything it
-// joined) returns.
-func (p *Pool) Run(task Task) {
-	job := &rootJob{task: task, done: make(chan struct{})}
-	p.inbox <- job
-	<-job.done
+func (p *Pool) nextSeed() uint64 {
+	return p.seq.Add(1)*0x9e3779b97f4a7c15 + 1
 }
 
-func (w *worker) loop() {
-	defer w.pool.wg.Done()
-	ctx := &Ctx{w: w}
+// register adds a deque to the steal set.
+func (p *Pool) register(d *deque) {
+	p.mu.Lock()
+	old := *p.victims.Load()
+	nv := make([]*deque, len(old)+1)
+	copy(nv, old)
+	nv[len(old)] = d
+	p.victims.Store(&nv)
+	p.mu.Unlock()
+	p.signal()
+}
+
+// unregister removes a deque from the steal set.
+func (p *Pool) unregister(d *deque) {
+	p.mu.Lock()
+	old := *p.victims.Load()
+	nv := make([]*deque, 0, len(old)-1)
+	for _, v := range old {
+		if v != d {
+			nv = append(nv, v)
+		}
+	}
+	p.victims.Store(&nv)
+	p.mu.Unlock()
+}
+
+// signal wakes one parked worker if any are parked.
+func (p *Pool) signal() {
+	if p.parked.Load() > 0 {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// scopeCtxs recycles scope contexts (and their deques) across operations.
+var scopeCtxs = sync.Pool{New: func() any { return &Ctx{dq: newDeque()} }}
+
+// enter opens a fork-join scope on the pool: a context whose deque is
+// registered for stealing. The caller runs the scope's root task on its
+// own goroutine and must close the scope with exit.
+func (p *Pool) enter() *Ctx {
+	c := scopeCtxs.Get().(*Ctx)
+	c.p = p
+	if c.rnd == 0 {
+		c.rnd = p.nextSeed()
+	}
+	p.register(c.dq)
+	return c
+}
+
+// exit closes a scope opened by enter. The scope's joins have all
+// resolved, so any tasks left in the deque are claimed no-ops; they are
+// drained before the deque is recycled.
+func (p *Pool) exit(c *Ctx) {
+	p.unregister(c.dq)
+	for c.dq.pop() != nil {
+	}
+	c.p = nil
+	scopeCtxs.Put(c)
+}
+
+// Run executes task on the pool as a fork-join scope and returns when it
+// (and everything it joined) has. The calling goroutine participates in
+// the work; nested Run calls (from inside pool tasks) are safe.
+func (p *Pool) Run(task Task) {
+	c := p.enter()
+	defer p.exit(c)
+	task(c)
+}
+
+// workerLoop is the background worker body: steal, execute, park.
+func (p *Pool) workerLoop(c *Ctx) {
+	defer p.wg.Done()
 	idleSpins := 0
 	for {
-		if t := w.findTask(); t != nil {
-			(*t)(ctx)
+		if t := c.findTask(); t != nil {
+			(*t)(c)
 			idleSpins = 0
 			continue
 		}
 		select {
-		case job := <-w.pool.inbox:
-			job.task(ctx)
-			close(job.done)
-			idleSpins = 0
-		case <-w.pool.quit:
+		case <-p.quit:
 			return
 		default:
-			idleSpins++
-			if idleSpins < 64 {
-				runtime.Gosched()
-			} else {
-				// Park lightly on the inbox or quit.
-				select {
-				case job := <-w.pool.inbox:
-					job.task(ctx)
-					close(job.done)
-					idleSpins = 0
-				case <-w.pool.quit:
-					return
-				}
-			}
 		}
+		idleSpins++
+		if idleSpins < 8 {
+			runtime.Gosched()
+			continue
+		}
+		// Park. Re-check for work after announcing the park so a fork
+		// racing with it cannot be missed for long (forkers signal only
+		// when parked > 0).
+		p.parked.Add(1)
+		if t := c.findTask(); t != nil {
+			p.parked.Add(-1)
+			(*t)(c)
+			idleSpins = 0
+			continue
+		}
+		select {
+		case <-p.wake:
+			p.parked.Add(-1)
+		case <-p.quit:
+			p.parked.Add(-1)
+			return
+		}
+		idleSpins = 0
 	}
 }
 
+// Ctx is the per-thread context of a pool participant (worker or scope).
+type Ctx struct {
+	p   *Pool
+	dq  *deque
+	rnd uint64
+}
+
 // findTask pops locally or steals from a random victim.
-func (w *worker) findTask() *Task {
-	if t := w.dq.pop(); t != nil {
+func (c *Ctx) findTask() *Task {
+	if t := c.dq.pop(); t != nil {
 		return t
 	}
-	n := len(w.pool.workers)
+	victims := *c.p.victims.Load()
+	n := len(victims)
+	if n == 0 {
+		return nil
+	}
 	// xorshift for victim selection
-	w.rnd ^= w.rnd << 13
-	w.rnd ^= w.rnd >> 7
-	w.rnd ^= w.rnd << 17
-	start := int(w.rnd % uint64(n))
+	c.rnd ^= c.rnd << 13
+	c.rnd ^= c.rnd >> 7
+	c.rnd ^= c.rnd << 17
+	start := int(c.rnd % uint64(n))
 	for i := 0; i < n; i++ {
-		v := w.pool.workers[(start+i)%n]
-		if v == w {
+		v := victims[(start+i)%n]
+		if v == c.dq {
 			continue
 		}
-		if t := v.dq.steal(); t != nil {
+		if t := v.steal(); t != nil {
 			return t
 		}
 	}
 	return nil
 }
 
-// Ctx is the per-worker context threaded through pool tasks.
-type Ctx struct {
-	w *worker
-}
-
 // Fork schedules f to run asynchronously and returns its join handle.
 func (c *Ctx) Fork(f Task) *Future {
 	fu := &Future{f: f}
 	t := Task(fu.run)
-	c.w.dq.push(&t)
+	c.dq.push(&t)
+	c.p.signal()
 	return fu
 }
 
 // Join waits for fu, helping with other tasks while it is outstanding.
 func (c *Ctx) Join(fu *Future) {
+	spins := 0
 	for !fu.done.Load() {
-		if t := c.w.findTask(); t != nil {
+		if t := c.findTask(); t != nil {
 			(*t)(c)
+			spins = 0
 			continue
 		}
 		// Nothing to help with. If the forked task has not started yet
-		// run it inline; otherwise a thief is mid-execution, so yield.
+		// run it inline; otherwise a thief is mid-execution — yield, and
+		// once yielding has gone on for a while back off into short
+		// sleeps: on an oversubscribed machine a Gosched storm steals
+		// the very cycles the thief needs to finish.
 		fu.run(c)
 		if fu.done.Load() {
 			return
 		}
-		runtime.Gosched()
+		spins++
+		if spins < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
 	}
 }
 
@@ -279,12 +401,12 @@ func (c *Ctx) Do(fs ...Task) {
 	}
 }
 
-// For runs f(i) for i in [lo, hi) using recursive halving on the pool.
-func (c *Ctx) For(lo, hi, grain int, f func(i int)) {
+// ForBlocks splits [lo, hi) into blocks of at most grain indices and runs
+// body on each block via recursive halving on the pool.
+func (c *Ctx) ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	var run Task
 	var rec func(ctx *Ctx, lo, hi int)
 	rec = func(ctx *Ctx, lo, hi int) {
 		for hi-lo > grain {
@@ -294,10 +416,20 @@ func (c *Ctx) For(lo, hi, grain int, f func(i int)) {
 			hi = mid
 			defer ctx.Join(fu)
 		}
-		for i := lo; i < hi; i++ {
-			f(i)
+		if lo < hi {
+			body(lo, hi)
 		}
 	}
-	run = func(ctx *Ctx) { rec(ctx, lo, hi) }
-	run(c)
+	if lo < hi {
+		rec(c, lo, hi)
+	}
+}
+
+// For runs f(i) for i in [lo, hi) using recursive halving on the pool.
+func (c *Ctx) For(lo, hi, grain int, f func(i int)) {
+	c.ForBlocks(lo, hi, grain, func(l, h int) {
+		for i := l; i < h; i++ {
+			f(i)
+		}
+	})
 }

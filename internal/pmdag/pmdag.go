@@ -96,6 +96,15 @@ func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *St
 		// All paths of a layer are independent: their bottom nodes only
 		// depend on strictly lower layers (Lemma 3.2).
 		par.For(0, len(ids), func(j int) {
+			// Cancellation checkpoint at path granularity: a fired token
+			// (request gone, or a sibling band already found an
+			// occurrence) abandons the run. Skipped paths leave nil sets,
+			// which is safe: any later path would observe the same
+			// monotonic token before reading them, and callers that saw
+			// Cancel fire discard the whole Result.
+			if p.Cancel.Cancelled() {
+				return
+			}
 			st := processPath(eng, pd.Paths[ids[j]], cfg, tr)
 			dagV.Add(st.DAGVertices)
 			dagE.Add(st.DAGEdges)
@@ -202,8 +211,23 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 	// Each level is a StateSet: the dense slice numbers the DAG vertices
 	// of the level and the index answers successor lookups.
 	uni := make([]*match.StateSet, L)
+	// abort recycles this path's private scratch and bails: nothing is
+	// stored into eng.Sets, so a cancelled run leaves only nil or fully
+	// solved node sets behind.
+	abort := func() pathStats {
+		for j := 0; j < L; j++ {
+			if uni[j] != nil {
+				eng.Recycle(uni[j])
+			}
+		}
+		eng.AddStatesGenerated(emitted)
+		return pathStats{}
+	}
 	uni[0] = bottomStates(eng, path[0], &ji, &emitted)
 	for j := 1; j < L; j++ {
+		if p.Cancel.Cancelled() {
+			return abort()
+		}
 		us := eng.Universe(path[j])
 		set := eng.NewSet(len(us))
 		for _, s := range us {
@@ -236,6 +260,9 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 		}
 	}
 	for j := 1; j < L; j++ {
+		if p.Cancel.Cancelled() {
+			return abort()
+		}
 		node := path[j]
 		below := path[j-1]
 		lookup := func(s match.State) int32 {
@@ -328,6 +355,9 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 	}
 
 	// Parallel BFS over the shortcut graph.
+	if p.Cancel.Cancelled() {
+		return abort()
+	}
 	reached := make([]atomic.Bool, V)
 	frontier := make([]int32, 0, len(sources))
 	for _, s := range sources {

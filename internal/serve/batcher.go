@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,7 @@ type group struct {
 }
 
 type request struct {
+	ctx      context.Context
 	h        *graph.Graph
 	enqueued time.Time
 	done     chan index.ScanResult
@@ -162,20 +164,41 @@ func (s *Scheduler) admit() error {
 // current batch and blocks until the batch executes, returning this
 // pattern's positional result. The answer is identical to calling the
 // corresponding Index method directly.
-func (s *Scheduler) Submit(e *Entry, kind BatchKind, h *graph.Graph) (index.ScanResult, error) {
+//
+// ctx is the request's own context: an already-done context is rejected
+// at admission, a context that dies while the request waits for (or
+// rides in) its batch makes Submit return the context's error
+// immediately, and once every member of a batch is gone the batch's
+// in-flight dynamic programs are cancelled mid-band.
+func (s *Scheduler) Submit(ctx context.Context, e *Entry, kind BatchKind, h *graph.Graph) (index.ScanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return index.ScanResult{}, err
+	}
 	if err := s.admit(); err != nil {
 		return index.ScanResult{}, err
 	}
-	defer s.queued.Add(-1)
-
+	// The admission slot is released by dispatch once the batch holding
+	// this request has executed — NOT when Submit returns: a client that
+	// disconnects mid-wait leaves its request riding the batch, and
+	// releasing early would let a connect-and-cancel flood bypass the
+	// MaxQueued bound while dead work piles up behind the in-flight
+	// semaphore.
+	rq := request{ctx: ctx, h: h, enqueued: time.Now(), done: make(chan index.ScanResult, 1)}
 	if s.opt.Window < 0 {
-		// Coalescing disabled: dispatch a singleton batch synchronously.
-		res := s.run(e, kind, []request{{h: h, enqueued: time.Now()}})
-		return res[0], nil
+		// Coalescing disabled: dispatch a singleton batch. Still async,
+		// so a context that dies while the batch waits for an in-flight
+		// slot unblocks Submit immediately (the dead query itself is
+		// cancelled through the batch context once dispatched).
+		go s.dispatch(e, kind, []request{rq})
+		select {
+		case res := <-rq.done:
+			return res, nil
+		case <-ctx.Done():
+			return index.ScanResult{}, ctx.Err()
+		}
 	}
 
 	g := s.group(groupKey{e, kind})
-	rq := request{h: h, enqueued: time.Now(), done: make(chan index.ScanResult, 1)}
 	g.mu.Lock()
 	g.pending = append(g.pending, rq)
 	if len(g.pending) >= s.opt.MaxBatch {
@@ -188,7 +211,15 @@ func (s *Scheduler) Submit(e *Entry, kind BatchKind, h *graph.Graph) (index.Scan
 		}
 		g.mu.Unlock()
 	}
-	return <-rq.done, nil
+	select {
+	case res := <-rq.done:
+		return res, nil
+	case <-ctx.Done():
+		// The client is gone; the batch still computes (other members may
+		// be live — the batch context fires only when all are gone) and
+		// delivery into the buffered done channel cannot block.
+		return index.ScanResult{}, ctx.Err()
+	}
 }
 
 // takeLocked claims the pending batch and disarms the timer; the caller
@@ -213,10 +244,48 @@ func (g *group) flush() {
 	}
 }
 
-// dispatch executes a batch and delivers each request's answer.
+// dispatch executes a batch, delivers each request's answer, and
+// releases the batch's admission slots.
 func (s *Scheduler) dispatch(e *Entry, kind BatchKind, batch []request) {
 	for i, res := range s.run(e, kind, batch) {
 		batch[i].done <- res
+	}
+	s.queued.Add(-int64(len(batch)))
+}
+
+// batchContext derives the context one batched Scan runs under: done
+// exactly when every member request's context is done, so one impatient
+// client cannot cancel a batch that still has live members, while a
+// fully abandoned batch stops burning cores mid-band. The returned
+// cancel releases the watcher goroutines and must be called when the
+// batch finishes.
+func batchContext(batch []request) (context.Context, context.CancelFunc) {
+	for _, rq := range batch {
+		if rq.ctx == nil || rq.ctx.Done() == nil {
+			// At least one member can never be abandoned: the batch
+			// cannot be cancelled, so spawn no watchers at all.
+			return context.Background(), func() {}
+		}
+	}
+	if len(batch) == 1 {
+		return batch[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var live atomic.Int32
+	live.Store(int32(len(batch)))
+	stops := make([]func() bool, len(batch))
+	for i, rq := range batch {
+		stops[i] = context.AfterFunc(rq.ctx, func() {
+			if live.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		cancel()
+		for _, stop := range stops {
+			stop()
+		}
 	}
 }
 
@@ -240,11 +309,13 @@ func (s *Scheduler) run(e *Entry, kind BatchKind, batch []request) []index.ScanR
 	for i, rq := range batch {
 		patterns[i] = rq.h
 	}
+	ctx, cancel := batchContext(batch)
+	defer cancel()
 	var res []index.ScanResult
 	if kind == KindDecide {
-		res = e.Index().Scan(patterns)
+		res = e.Index().Scan(ctx, patterns)
 	} else {
-		res = e.Index().ScanCount(patterns)
+		res = e.Index().ScanCount(ctx, patterns)
 	}
 	s.batches.Add(1)
 	s.requests.Add(uint64(len(batch)))
@@ -258,8 +329,14 @@ func (s *Scheduler) run(e *Entry, kind BatchKind, batch []request) []index.ScanR
 }
 
 // Direct runs a non-batchable operation (find, list, separating) under
-// the same admission control and in-flight bound as the batches.
-func (s *Scheduler) Direct(f func()) error {
+// the same admission control and in-flight bound as the batches. An
+// already-done ctx is rejected at admission, and a ctx that dies while
+// the operation waits for an in-flight slot abandons the wait (the
+// operation itself is then never started).
+func (s *Scheduler) Direct(ctx context.Context, f func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.admit(); err != nil {
 		return err
 	}
@@ -267,7 +344,11 @@ func (s *Scheduler) Direct(f func()) error {
 	if s.opt.AfterBatch != nil {
 		defer s.opt.AfterBatch()
 	}
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	s.inFlight.Add(1)
 	defer func() {
 		s.inFlight.Add(-1)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,12 @@ import (
 	"planarsi/internal/gio"
 	"planarsi/internal/graph"
 )
+
+// StatusClientClosedRequest is the (nginx-conventional) status reported
+// when the client's request context is already cancelled: there is
+// nobody left to answer, so no work is admitted. There is no official
+// status code for this; 499 is the de-facto standard.
+const StatusClientClosedRequest = 499
 
 // Edge is one wire edge. It decodes strictly: a JSON array that does not
 // hold exactly two vertex ids is rejected (encoding/json would otherwise
@@ -144,6 +151,12 @@ func queryStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the in-flight work was cancelled.
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline expired before the query finished.
+		return http.StatusGatewayTimeout
 	default:
 		// Pattern-level rejections (oversized, disconnected, non-planar):
 		// the request was well-formed but unprocessable.
@@ -154,6 +167,13 @@ func queryStatus(err error) int {
 // decodeQuery parses a query body and acquires its host graph; on success
 // the caller owns the returned release func.
 func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request, needPattern bool) (*QueryRequest, *Entry, *graph.Graph, func(), bool) {
+	// Fail fast for clients that are already gone: decoding bodies and
+	// queueing work for a dead connection only steals cores from live
+	// requests.
+	if err := r.Context().Err(); err != nil {
+		httpError(w, queryStatus(err), "request context done at admission: %v", err)
+		return nil, nil, nil, nil, false
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -186,7 +206,7 @@ func (s *Server) handleBatched(kind BatchKind) http.HandlerFunc {
 			return
 		}
 		defer release()
-		res, err := s.sched.Submit(e, kind, h)
+		res, err := s.sched.Submit(r.Context(), e, kind, h)
 		if err == nil {
 			err = res.Err
 		}
@@ -210,8 +230,8 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	var occ core.Occurrence
 	var err error
-	if derr := s.sched.Direct(func() {
-		occ, err = e.Index().FindOccurrence(h)
+	if derr := s.sched.Direct(r.Context(), func() {
+		occ, err = e.Index().FindOccurrenceCtx(r.Context(), h)
 	}); derr != nil {
 		err = derr
 	}
@@ -243,8 +263,8 @@ func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
 	}
 	var occ core.Occurrence
 	var err error
-	if derr := s.sched.Direct(func() {
-		occ, err = e.Index().DecideSeparating(h, mask)
+	if derr := s.sched.Direct(r.Context(), func() {
+		occ, err = e.Index().DecideSeparatingCtx(r.Context(), h, mask)
 	}); derr != nil {
 		err = derr
 	}
@@ -263,7 +283,7 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	var res ConnectivityResponse
 	var err error
-	if derr := s.sched.Direct(func() {
+	if derr := s.sched.Direct(r.Context(), func() {
 		cr, cerr := e.Connectivity()
 		res = ConnectivityResponse{Graph: req.Graph, Connectivity: cr.Connectivity, Cut: cr.Cut}
 		err = cerr

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -61,11 +62,18 @@ func (w *statusRecorder) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with the named endpoint's counters.
+// instrument wraps a handler with the named endpoint's counters and,
+// when Options.RequestTimeout is set, the per-request deadline (the
+// cancellation token every query derives from r.Context()).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	m := &endpointMetrics{}
 	s.metrics[name] = m
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opt.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)

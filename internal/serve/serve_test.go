@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -40,7 +41,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := sched.Submit(e, KindDecide, h)
+			res, err := sched.Submit(context.Background(), e, KindDecide, h)
 			if err != nil {
 				t.Errorf("pattern %d: %v", i, err)
 				return
@@ -86,7 +87,7 @@ func TestSchedulerWindowFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := NewScheduler(SchedulerOptions{Window: time.Millisecond})
-	res, err := sched.Submit(e, KindCount, h)
+	res, err := sched.Submit(context.Background(), e, KindCount, h)
 	if err != nil || res.Err != nil {
 		t.Fatalf("submit: %v / %v", err, res.Err)
 	}
@@ -114,13 +115,13 @@ func TestSchedulerAdmission(t *testing.T) {
 
 	first := make(chan error, 1)
 	go func() {
-		_, err := sched.Submit(e, KindDecide, h)
+		_, err := sched.Submit(context.Background(), e, KindDecide, h)
 		first <- err
 	}()
 	for sched.Stats().Queued == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := sched.Submit(e, KindDecide, h); err != ErrOverloaded {
+	if _, err := sched.Submit(context.Background(), e, KindDecide, h); err != ErrOverloaded {
 		t.Fatalf("second submit: err = %v, want ErrOverloaded", err)
 	}
 	if err := <-first; err != nil {
@@ -281,7 +282,7 @@ func TestServeChurnRace(t *testing.T) {
 					t.Error("acquire failed")
 					return
 				}
-				if _, err := s.Scheduler().Submit(e, KindDecide, patterns[i%len(patterns)]); err != nil {
+				if _, err := s.Scheduler().Submit(context.Background(), e, KindDecide, patterns[i%len(patterns)]); err != nil {
 					t.Errorf("submit: %v", err)
 				}
 				s.Registry().Release(e)

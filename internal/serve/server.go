@@ -22,6 +22,10 @@ type Options struct {
 	MaxGraphVertices int
 	// MaxBodyBytes caps request bodies. Default 32 MiB.
 	MaxBodyBytes int64
+	// RequestTimeout, when positive, bounds every request's context with
+	// a deadline: queries still running when it expires are cancelled
+	// mid-band and answered with 504. 0 disables the bound.
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {

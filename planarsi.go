@@ -29,8 +29,15 @@
 // instead:
 //
 //	ix := planarsi.NewIndex(g, planarsi.Options{Seed: 1})
-//	found, _ := ix.Decide(h)                   // same answer as Decide(g, h, opt)
-//	results := ix.Scan([]*planarsi.Graph{...}) // whole batch, concurrently
+//	found, _ := ix.Decide(h)                        // same answer as Decide(g, h, opt)
+//	results := ix.Scan(ctx, []*planarsi.Graph{...}) // whole batch, concurrently
+//
+// Batched scans and the *Ctx query variants (DecideCtx, ScanCount, ...)
+// honor a context.Context: cancellation or an expired deadline stops the
+// in-flight per-band dynamic programs at their next checkpoint and
+// returns the context's error. Cancellation never changes answers — a
+// rerun with a live context returns exactly what an unwatched call
+// would have.
 //
 // Lifecycle and cost model: NewIndex is O(1) — preprocessing artifacts
 // are built lazily on first use and memoized for the Index's lifetime
