@@ -1,5 +1,6 @@
 # CI entry points. `make check` (or `make`, or the legacy `make ci`) is
-# the tier-1 gate the build must keep green: vet, build, the full test
+# the tier-1 gate the build must keep green: lint (gofmt, vet,
+# staticcheck — the same step CI's lint job runs), build, the full test
 # suite, and the race pass over the packages with concurrent hot paths
 # (the Index's memoized decompositions, the fork-join runtime, and the
 # match/pmdag state-set arena shared by parallel path workers). The race
@@ -8,11 +9,21 @@
 
 GO ?= go
 
-.PHONY: check ci vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke serve-smoke fuzz-gio
+.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke serve-smoke fuzz-gio fuzz-snap
 
-check: vet build test race
+check: lint build test race
 
 ci: check
+
+# lint is the exact command CI's lint job runs, so a green local `make
+# check` and a green CI gate mean the same thing. staticcheck is skipped
+# with a note when not installed (the CI job installs it; the container
+# build must not pull dependencies).
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping (CI installs it)"; fi
 
 vet:
 	$(GO) vet ./...
@@ -51,9 +62,18 @@ bench-engines:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-# Fuzz the network-facing edge-list parser for a short budget.
+# Fuzz budget per target: 30s is the quick local pass; the nightly
+# workflow overrides it (make fuzz-gio FUZZTIME=10m).
+FUZZTIME ?= 30s
+
+# Fuzz the network-facing edge-list parser.
 fuzz-gio:
-	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/gio
+	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME) ./internal/gio
+
+# Fuzz the snapshot decoder: arbitrary bytes must error cleanly (never
+# panic or over-allocate), and inputs that decode must round-trip.
+fuzz-snap:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME) ./internal/snap
 
 # benchstat-ready runs of the perf-tracked benchmarks: the Table 1
 # decision pipeline (root package) and the flat state-set

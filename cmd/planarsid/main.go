@@ -17,6 +17,7 @@
 //	POST   /find            one witness occurrence, if any
 //	POST   /separating      adds "terminals":[v,..]; witness occurrence
 //	POST   /connectivity    {"graph":"g"} -> {"connectivity":..,"cut":..}
+//	POST   /snapshot        checkpoint every graph to -snapshot-dir
 //	GET    /stats           registry, scheduler and endpoint counters
 //	GET    /healthz         liveness probe
 //
@@ -25,6 +26,13 @@
 // queries arriving within -window of each other against the same graph
 // are coalesced into one batched scan. SIGINT/SIGTERM shut down
 // gracefully, draining in-flight requests.
+//
+// With -snapshot-dir, the daemon is restart-durable: boot restores
+// every *.snap in the directory (graphs come back with their
+// preprocessing caches warm, so the first queries skip the O(d·n)
+// cover construction), graceful shutdown persists every registered
+// graph back, and POST /snapshot checkpoints on demand. A -graph flag
+// whose name was already restored from a snapshot is skipped.
 //
 // The parallel runtime is sized with -procs (0 tracks GOMAXPROCS) and
 // selected with -par-engine (the work-stealing pool by default; the
@@ -66,6 +74,7 @@ func main() {
 	procs := flag.Int("procs", 0, "worker count for the parallel runtime (0 tracks GOMAXPROCS)")
 	engine := flag.String("par-engine", "pool", "parallel execution engine: pool (work-stealing) or semaphore (ablation)")
 	deadline := flag.Duration("deadline", 0, "per-request deadline; expired queries are cancelled mid-band and answered 504 (0 = none)")
+	snapDir := flag.String("snapshot-dir", "", "snapshot directory: warm-boot from its *.snap files, persist on graceful shutdown, expose POST /snapshot (empty disables persistence)")
 	var preload []string
 	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -99,12 +108,29 @@ func main() {
 		},
 		MaxGraphVertices: *maxGraphN,
 		RequestTimeout:   *deadline,
+		SnapshotDir:      *snapDir,
 	})
+
+	if *snapDir != "" {
+		infos, err := srv.RestoreSnapshots()
+		for _, in := range infos {
+			log.Printf("planarsid: warm boot: restored graph %s (n=%d m=%d, clusterings=%d covers=%d) from %s — preprocessing skipped",
+				in.Name, in.N, in.M, in.Clusterings, in.Covers, in.File)
+		}
+		if err != nil {
+			log.Printf("planarsid: snapshot restore (continuing cold for the affected graphs): %v", err)
+		}
+	}
 
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			log.Fatalf("planarsid: -graph wants name=file, got %q", spec)
+		}
+		if e := srv.Registry().Acquire(name); e != nil {
+			srv.Registry().Release(e)
+			log.Printf("planarsid: graph %s already restored from snapshot; skipping %s", name, path)
+			continue
 		}
 		g, err := gio.ReadEdgeListFile(path)
 		if err != nil {
@@ -146,6 +172,16 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("planarsid: shutdown: %v", err)
 		os.Exit(1)
+	}
+	if *snapDir != "" {
+		infos, err := srv.SaveSnapshots()
+		if err != nil {
+			log.Printf("planarsid: snapshot persist: %v", err)
+		}
+		for _, in := range infos {
+			log.Printf("planarsid: persisted graph %s (clusterings=%d covers=%d, %d bytes) to %s",
+				in.Name, in.Clusterings, in.Covers, in.FileBytes, in.File)
+		}
 	}
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "planarsid: served %d requests in %d batches (%d rejected)\n",

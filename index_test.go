@@ -1,6 +1,7 @@
 package planarsi_test
 
 import (
+	"bytes"
 	"context"
 	"sort"
 	"testing"
@@ -93,5 +94,38 @@ func TestPublicIndexFindAndVerify(t *testing.T) {
 	}
 	if !planarsi.VerifyOccurrence(g, h, occ) {
 		t.Errorf("witness does not verify: %v", occ)
+	}
+}
+
+// TestPublicIndexSaveLoad exercises the public persistence surface:
+// Index.Save and planarsi.LoadIndex round-trip the cache, the restored
+// Index answers exactly like the original, and its Stats (artifact
+// counts, byte accounting, query counter) come back identical.
+func TestPublicIndexSaveLoad(t *testing.T) {
+	g := planarsi.Grid(5, 5)
+	opt := planarsi.Options{Seed: 2, MaxRuns: 4}
+	ix := planarsi.NewIndex(g, opt)
+	patterns := []*planarsi.Graph{planarsi.Cycle(4), planarsi.Path(4)}
+	before := ix.Scan(context.Background(), patterns)
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := planarsi.LoadIndex(&buf)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if got, want := loaded.Stats(), ix.Stats(); got != want {
+		t.Fatalf("Stats diverge after load:\n got %+v\nwant %+v", got, want)
+	}
+	after := loaded.Scan(context.Background(), patterns)
+	for i := range before {
+		if before[i].Err != nil || after[i].Err != nil || before[i].Found != after[i].Found {
+			t.Fatalf("pattern %d diverges after load: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	if _, err := planarsi.LoadIndex(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage unexpectedly loaded")
 	}
 }

@@ -73,6 +73,17 @@ type Options struct {
 	Cancel *par.Canceller
 }
 
+// SameConfig reports whether two option sets produce identical answers
+// and identical cached artifacts: it compares the value fields that feed
+// the pipeline's randomness and shape (Seed, Engine, MaxRuns, Heuristic,
+// Beta) and ignores the per-call attachments (Tracker, Stats, Cancel),
+// which never influence results. Snapshot restore uses it to refuse
+// loading artifacts built under a different configuration.
+func (o Options) SameConfig(p Options) bool {
+	return o.Seed == p.Seed && o.Engine == p.Engine && o.MaxRuns == p.MaxRuns &&
+		o.Heuristic == p.Heuristic && o.Beta == p.Beta
+}
+
 // Stats reports what a pipeline call did.
 type Stats struct {
 	// Runs is the number of cover repetitions executed.

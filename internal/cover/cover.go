@@ -23,6 +23,7 @@
 package cover
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"planarsi/internal/bfs"
@@ -54,6 +55,37 @@ type Band struct {
 	// band level, so each occurrence is counted once per cluster
 	// (Section 4.2.1).
 	LowestLevelLocal []bool
+}
+
+// Validate checks the band's invariants against an n-vertex target: the
+// Orig map covers every band vertex with target ids (or -1 for merged
+// minor vertices) and the optional per-vertex marks have the band's
+// size. Snapshot decoding calls it so a band restored from an untrusted
+// file can never index out of the target's arrays.
+func (b *Band) Validate(n int) error {
+	if b.G == nil {
+		return fmt.Errorf("cover: band without a graph")
+	}
+	bn := b.G.N()
+	if len(b.Orig) != bn {
+		return fmt.Errorf("cover: %d Orig entries for %d band vertices", len(b.Orig), bn)
+	}
+	for li, ov := range b.Orig {
+		if ov < -1 || int(ov) >= n {
+			return fmt.Errorf("cover: band vertex %d maps to %d, outside [-1, %d)", li, ov, n)
+		}
+	}
+	for name, mask := range map[string][]bool{
+		"Allowed": b.Allowed, "S": b.S, "LowestLevelLocal": b.LowestLevelLocal,
+	} {
+		if mask != nil && len(mask) != bn {
+			return fmt.Errorf("cover: %s mask has %d entries for %d band vertices", name, len(mask), bn)
+		}
+	}
+	if b.Cluster < 0 || b.Level < 0 {
+		return fmt.Errorf("cover: negative cluster %d or level %d", b.Cluster, b.Level)
+	}
+	return nil
 }
 
 // MemBytes returns the approximate heap footprint of the band in bytes:

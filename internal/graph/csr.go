@@ -1,0 +1,62 @@
+package graph
+
+import "fmt"
+
+// RawCSR exposes the graph's backing arrays for serialization: the CSR
+// offset and adjacency arrays, the embedding flag, and the optional
+// planar coordinates (nil when the graph carries none). The returned
+// slices alias the graph's own storage and must not be modified.
+func (g *Graph) RawCSR() (off, adj []int32, embedded bool, x, y []float64) {
+	return g.off, g.adj, g.embedded, g.x, g.y
+}
+
+// FromCSR reconstructs a Graph from serialized CSR arrays, taking
+// ownership of the slices. It validates the structural invariants every
+// algorithm in this repository assumes — a well-formed offset array,
+// adjacency ids in range, and no self-loops — so a graph decoded from an
+// untrusted snapshot can never index out of bounds. It does not verify
+// edge symmetry or the planarity of a claimed rotation system (both are
+// semantic properties: violating them yields wrong answers, not memory
+// errors; ValidateEmbedding checks the latter).
+func FromCSR(off, adj []int32, embedded bool, x, y []float64) (*Graph, error) {
+	if len(off) < 1 {
+		return nil, fmt.Errorf("graph: CSR offset array is empty")
+	}
+	n := len(off) - 1
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offsets must start at 0, got %d", off[0])
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: CSR offsets decrease at vertex %d", v)
+		}
+	}
+	if int(off[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: CSR offsets end at %d, adjacency holds %d entries", off[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd adjacency length %d for an undirected graph", len(adj))
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range adj[off[v]:off[v+1]] {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: adjacency of %d references %d, outside [0, %d)", v, w, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop at %d", v)
+			}
+		}
+	}
+	if (x == nil) != (y == nil) {
+		return nil, fmt.Errorf("graph: coordinate arrays must both be present or both absent")
+	}
+	if x != nil {
+		if len(x) != n || len(y) != n {
+			return nil, fmt.Errorf("graph: coordinate arrays have length %d/%d, want %d", len(x), len(y), n)
+		}
+		if !embedded {
+			return nil, fmt.Errorf("graph: coordinates without an embedding")
+		}
+	}
+	return &Graph{off: off, adj: adj, embedded: embedded, x: x, y: y}, nil
+}

@@ -1,0 +1,178 @@
+package index
+
+// Persistence: an Index's memoized artifact tables can be written to a
+// versioned binary snapshot (internal/snap) and restored behind the
+// same memoization keys, so a process restart warm-boots from disk
+// instead of re-paying the target-side preprocessing.
+//
+// What is snapshotted: the target graph, the pipeline configuration
+// (Seed, Engine, MaxRuns, Heuristic, Beta), the lifetime query counter,
+// and every *completed* memoized artifact — clusterings by (beta, run),
+// plain prepared covers by (k, d, run), separating covers by (k, d,
+// run, terminal mask) — together with their accounted byte footprints,
+// carried verbatim so a restored Index reports byte-identical Stats.
+//
+// What is not: artifacts still under construction when Save runs
+// (their sync.Once has not completed; the restored Index rebuilds them
+// on demand, bit-identically, from the derived (Seed, stream, run)
+// randomness), covers past the decide run budget (never memoized, see
+// Prepared), and the cached planar embedding (recomputed lazily).
+
+import (
+	"cmp"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"planarsi/internal/core"
+	"planarsi/internal/snap"
+)
+
+// configOnly strips the per-call attachments (Tracker, Stats, Cancel)
+// from an option set, leaving the value configuration a snapshot
+// records.
+func configOnly(o core.Options) core.Options {
+	return core.Options{
+		Seed:      o.Seed,
+		Engine:    o.Engine,
+		MaxRuns:   o.MaxRuns,
+		Heuristic: o.Heuristic,
+		Beta:      o.Beta,
+	}
+}
+
+// Snapshot captures the Index's completed memoized artifacts as a
+// serializable snapshot. Artifacts under construction are skipped (a
+// restored Index rebuilds them bit-identically on demand), so Snapshot
+// is safe to call concurrently with queries — "mid-churn" saves are
+// first-class. Artifact lists are sorted by key, so equal cache
+// contents always serialize to identical bytes.
+func (ix *Index) Snapshot() *snap.Snapshot {
+	s := &snap.Snapshot{
+		Options: configOnly(ix.opt),
+		Queries: ix.queries.Load(),
+		Graph:   ix.g,
+	}
+	ix.mu.Lock()
+	for key, e := range ix.clusters {
+		if e.done.Load() {
+			s.Clusters = append(s.Clusters, snap.ClusterArtifact{
+				BetaBits: key.betaBits, Run: key.run, Bytes: e.bytes, C: e.cl,
+			})
+		}
+	}
+	for key, e := range ix.plain {
+		if e.done.Load() {
+			s.Plain = append(s.Plain, snap.CoverArtifact{
+				K: key.k, D: key.d, Run: key.run, Bytes: e.bytes, PC: e.pc,
+			})
+		}
+	}
+	for key, e := range ix.sep {
+		if e.done.Load() {
+			s.Sep = append(s.Sep, snap.CoverArtifact{
+				K: key.k, D: key.d, Run: key.run, Bytes: e.bytes, Mask: key.s, PC: e.pc,
+			})
+		}
+	}
+	ix.mu.Unlock()
+
+	slices.SortFunc(s.Clusters, func(a, b snap.ClusterArtifact) int {
+		if c := cmp.Compare(a.BetaBits, b.BetaBits); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Run, b.Run)
+	})
+	sortCovers := func(list []snap.CoverArtifact) {
+		slices.SortFunc(list, func(a, b snap.CoverArtifact) int {
+			if c := cmp.Compare(a.K, b.K); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.D, b.D); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.Run, b.Run); c != 0 {
+				return c
+			}
+			return strings.Compare(a.Mask, b.Mask)
+		})
+	}
+	sortCovers(s.Plain)
+	sortCovers(s.Sep)
+	return s
+}
+
+// Save writes the Index's snapshot to w (see Snapshot for what is and
+// is not captured). The written artifacts are immutable, so Save may
+// run concurrently with queries; queries finishing new artifacts during
+// the write land in the next Save.
+func (ix *Index) Save(w io.Writer) error {
+	return snap.Write(w, ix.Snapshot())
+}
+
+// FromSnapshot reconstructs an Index from a decoded snapshot: the
+// restored artifacts are installed behind the same memoization keys,
+// with their sync.Once already completed, so the first query for a
+// restored (k, d, run) is served from cache exactly as on the Index
+// that saved it. Because per-run randomness is derived purely from
+// (Seed, stream, run), a restored Index answers byte-identically to a
+// freshly built Index with the same Options — restoring only moves
+// preprocessing cost, never answers.
+func FromSnapshot(s *snap.Snapshot) (*Index, error) {
+	ix := New(s.Graph, s.Options)
+	ix.queries.Store(s.Queries)
+	for _, ca := range s.Clusters {
+		key := clusterKey{ca.BetaBits, ca.Run}
+		if _, dup := ix.clusters[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate clustering key %+v", snap.ErrFormat, key)
+		}
+		e := &clusterEntry{}
+		cl, bytes := ca.C, ca.Bytes
+		e.once.Do(func() {
+			e.cl = cl
+			e.bytes = bytes
+			e.done.Store(true)
+		})
+		ix.clusters[key] = e
+	}
+	install := func(e *coverEntry, ca snap.CoverArtifact) {
+		pc, bytes := ca.PC, ca.Bytes
+		e.once.Do(func() {
+			e.pc = pc
+			e.bytes = bytes
+			e.bands = len(pc.Bands)
+			e.done.Store(true)
+		})
+	}
+	for _, ca := range s.Plain {
+		key := coverKey{ca.K, ca.D, ca.Run}
+		if _, dup := ix.plain[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate plain cover key %+v", snap.ErrFormat, key)
+		}
+		e := &coverEntry{}
+		install(e, ca)
+		ix.plain[key] = e
+	}
+	for _, ca := range s.Sep {
+		key := sepKey{ca.K, ca.D, ca.Run, ca.Mask}
+		if _, dup := ix.sep[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate separating cover key (k=%d d=%d run=%d)", snap.ErrFormat, ca.K, ca.D, ca.Run)
+		}
+		e := &coverEntry{}
+		install(e, ca)
+		ix.sep[key] = e
+	}
+	return ix, nil
+}
+
+// Load reads a snapshot written by Save and reconstructs the Index (see
+// FromSnapshot). The reader is treated as untrusted: malformed input
+// fails with an error wrapping snap.ErrFormat, never a panic.
+func Load(r io.Reader) (*Index, error) {
+	s, err := snap.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(s)
+}

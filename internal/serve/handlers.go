@@ -326,7 +326,8 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Remove(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
 		status := http.StatusNotFound
 		if errors.Is(err, ErrInUse) {
 			status = http.StatusConflict
@@ -334,6 +335,9 @@ func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
+	// An explicitly removed graph must stay gone across restarts: drop
+	// its snapshot file too.
+	s.removeSnapshotFile(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 

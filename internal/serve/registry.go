@@ -16,6 +16,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"slices"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"planarsi/internal/core"
 	"planarsi/internal/graph"
 	"planarsi/internal/index"
+	"planarsi/internal/snap"
 )
 
 // RegistryOptions configures a Registry.
@@ -87,6 +89,10 @@ type Entry struct {
 // Name returns the entry's registry name.
 func (e *Entry) Name() string { return e.name }
 
+// Pinned reports whether the entry is exempt from stage-2 eviction
+// (daemon-preloaded and snapshot-restored-as-pinned graphs).
+func (e *Entry) Pinned() bool { return e.pinned }
+
 // Graph returns the entry's host graph.
 func (e *Entry) Graph() *graph.Graph { return e.g }
 
@@ -122,9 +128,6 @@ func NewRegistry(opt RegistryOptions) *Registry {
 // entry is exempt from stage-2 eviction (its artifact cache can still be
 // shed under memory pressure).
 func (r *Registry) Register(name string, g *graph.Graph, pinned bool) (*Entry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("serve: empty graph name")
-	}
 	e := &Entry{
 		name:   name,
 		g:      g,
@@ -132,15 +135,85 @@ func (r *Registry) Register(name string, g *graph.Graph, pinned bool) (*Entry, e
 		opt:    r.opt.Pipeline,
 		pinned: pinned,
 	}
+	if err := r.insert(e); err != nil {
+		return nil, err
+	}
+	r.Maintain()
+	return e, nil
+}
+
+// insert adds a fully built entry under the registry lock.
+func (r *Registry) insert(e *Entry) error {
+	if e.name == "" {
+		return fmt.Errorf("serve: empty graph name")
+	}
 	r.mu.Lock()
-	if _, taken := r.entries[name]; taken {
-		r.mu.Unlock()
-		return nil, fmt.Errorf("serve: graph %q already registered", name)
+	defer r.mu.Unlock()
+	if _, taken := r.entries[e.name]; taken {
+		return fmt.Errorf("serve: graph %q already registered", e.name)
 	}
 	r.clock++
 	e.lastUsed = r.clock
-	r.entries[name] = e
-	r.mu.Unlock()
+	r.entries[e.name] = e
+	return nil
+}
+
+// WriteSnapshot serializes the named entry — its host graph, pinned
+// mark, and every completed cached artifact of its Index — to w in the
+// internal/snap format. The entry is pinned by Acquire for the duration
+// of the write, so eviction cannot drop it mid-save; artifacts are
+// immutable, so concurrent queries are fine (an eviction-shed cache or
+// a save racing query-driven builds simply snapshots fewer artifacts —
+// partial snapshots restore to a smaller, still-correct warm cache).
+func (r *Registry) WriteSnapshot(w io.Writer, name string) error {
+	e := r.Acquire(name)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	defer r.Release(e)
+	s := e.ix.Snapshot()
+	s.Name = e.name
+	s.Pinned = e.pinned
+	return snap.Write(w, s)
+}
+
+// RestoreSnapshot reads one entry snapshot (written by WriteSnapshot)
+// and registers it under its recorded name and pinned mark, with the
+// restored artifact cache already warm. maxVertices, when positive,
+// bounds the accepted graph size (the network-facing daemon's cap).
+// Snapshots built under pipeline options different from the registry's
+// are refused: registry answers must stay byte-identical to the direct
+// API with the registry's own options.
+func (r *Registry) RestoreSnapshot(rd io.Reader, maxVertices int) (*Entry, error) {
+	s, err := snap.Read(rd)
+	if err != nil {
+		return nil, err
+	}
+	if !s.Options.SameConfig(r.opt.Pipeline) {
+		return nil, fmt.Errorf("serve: snapshot %q was built under different pipeline options (seed/engine/runs/heuristic/beta must match the registry's)", s.Name)
+	}
+	if maxVertices > 0 && s.Graph.N() > maxVertices {
+		return nil, fmt.Errorf("serve: snapshot %q holds %d vertices, over the %d limit", s.Name, s.Graph.N(), maxVertices)
+	}
+	// Rebuild the Index under the registry's own option set — SameConfig
+	// proved the value fields equal, and this reattaches the pipeline's
+	// per-call hooks (Tracker, Stats), which are never serialized, so
+	// restored entries behave exactly like Register-created ones.
+	s.Options = r.opt.Pipeline
+	ix, err := index.FromSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{
+		name:   s.Name,
+		g:      ix.Graph(),
+		ix:     ix,
+		opt:    r.opt.Pipeline,
+		pinned: s.Pinned,
+	}
+	if err := r.insert(e); err != nil {
+		return nil, err
+	}
 	r.Maintain()
 	return e, nil
 }

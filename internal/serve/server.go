@@ -26,6 +26,11 @@ type Options struct {
 	// a deadline: queries still running when it expires are cancelled
 	// mid-band and answered with 504. 0 disables the bound.
 	RequestTimeout time.Duration
+	// SnapshotDir, when set, enables persistence: RestoreSnapshots warm
+	// boots from the directory's *.snap files, SaveSnapshots checkpoints
+	// every registered graph there, and POST /snapshot is exposed for
+	// on-demand checkpointing.
+	SnapshotDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,9 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /find", s.instrument("find", s.handleFind))
 	mux.HandleFunc("POST /separating", s.instrument("separating", s.handleSeparating))
 	mux.HandleFunc("POST /connectivity", s.instrument("connectivity", s.handleConnectivity))
+	if s.opt.SnapshotDir != "" {
+		mux.HandleFunc("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	}
 	s.mux = mux
 }
 

@@ -1,0 +1,255 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"planarsi/internal/core"
+	"planarsi/internal/graph"
+	"planarsi/internal/serve"
+)
+
+func registryPair(t *testing.T, opt core.Options) (*serve.Registry, *serve.Registry) {
+	t.Helper()
+	a := serve.NewRegistry(serve.RegistryOptions{Pipeline: opt})
+	b := serve.NewRegistry(serve.RegistryOptions{Pipeline: opt})
+	return a, b
+}
+
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	opt := core.Options{Seed: 9, MaxRuns: 3}
+	src, dst := registryPair(t, opt)
+	g := graph.Grid(4, 4)
+	e, err := src.Register("grid", g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then snapshot.
+	want, err := e.Index().CountOccurrences(graph.Cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, "grid"); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	re, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if re.Name() != "grid" || !re.Pinned() {
+		t.Fatalf("restored entry lost identity: name=%q pinned=%v", re.Name(), re.Pinned())
+	}
+	st := re.Index().Stats()
+	if st.PlainCovers == 0 {
+		t.Fatalf("restored entry has a cold cache: %+v", st)
+	}
+	got, err := re.Index().CountOccurrences(graph.Cycle(4))
+	if err != nil || got != want {
+		t.Fatalf("restored count = %d, %v; want %d", got, err, want)
+	}
+	// The cached shapes were served, not rebuilt.
+	if after := re.Index().Stats(); after.PlainCovers != st.PlainCovers {
+		t.Fatalf("restored cache grew on a snapshotted shape: %d -> %d", st.PlainCovers, after.PlainCovers)
+	}
+}
+
+func TestRestoreRefusesMismatchedOptions(t *testing.T) {
+	src, _ := registryPair(t, core.Options{Seed: 9})
+	if _, err := src.Register("g", graph.Grid(3, 3), false); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, "g"); err != nil {
+		t.Fatal(err)
+	}
+	other := serve.NewRegistry(serve.RegistryOptions{Pipeline: core.Options{Seed: 10}})
+	if _, err := other.RestoreSnapshot(bytes.NewReader(buf.Bytes()), 0); err == nil ||
+		!strings.Contains(err.Error(), "different pipeline options") {
+		t.Fatalf("mismatched options: got %v", err)
+	}
+	// Same name twice is refused too.
+	dst := serve.NewRegistry(serve.RegistryOptions{Pipeline: core.Options{Seed: 9}})
+	if _, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()), 0); err == nil {
+		t.Fatal("duplicate restore unexpectedly succeeded")
+	}
+	// Vertex cap applies to restored graphs.
+	if _, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()), 4); err == nil ||
+		!strings.Contains(err.Error(), "over the 4 limit") {
+		t.Fatalf("vertex cap: got %v", err)
+	}
+}
+
+// TestServerSnapshotWarmBoot is the end-to-end warm-restart test: a
+// server checkpoints via POST /snapshot, a second server boots from the
+// directory, reports a warm cache before any query, and serves
+// identical answers.
+func TestServerSnapshotWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	opt := serve.Options{
+		Pipeline:    core.Options{Seed: 7, MaxRuns: 3},
+		Scheduler:   serve.SchedulerOptions{Window: time.Millisecond},
+		SnapshotDir: dir,
+	}
+	s1 := serve.New(opt)
+	if _, err := s1.Registry().Register("grid", graph.Grid(4, 4), true); err != nil {
+		t.Fatal(err)
+	}
+	e := s1.Registry().Acquire("grid")
+	want, err := e.Index().CountOccurrences(graph.Cycle(4))
+	s1.Registry().Release(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint over HTTP.
+	ts := newSnapshotTestServer(t, s1)
+	resp, body := postJSON(t, ts.URL+"/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshot: %d %s", resp.StatusCode, body)
+	}
+	var sr serve.SnapshotResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Graphs) != 1 || sr.Graphs[0].Name != "grid" || sr.Graphs[0].Covers == 0 {
+		t.Fatalf("snapshot response: %+v", sr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "grid.snap")); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	// Second server, same directory: warm boot.
+	s2 := serve.New(opt)
+	infos, err := s2.RestoreSnapshots()
+	if err != nil {
+		t.Fatalf("RestoreSnapshots: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Name != "grid" || infos[0].Covers == 0 {
+		t.Fatalf("restore infos: %+v", infos)
+	}
+	e2 := s2.Registry().Acquire("grid")
+	if e2 == nil {
+		t.Fatal("grid not restored")
+	}
+	defer s2.Registry().Release(e2)
+	if st := e2.Index().Stats(); st.PlainCovers == 0 {
+		t.Fatalf("warm boot has a cold cache: %+v", st)
+	}
+	got, err := e2.Index().CountOccurrences(graph.Cycle(4))
+	if err != nil || got != want {
+		t.Fatalf("warm count = %d, %v; want %d", got, err, want)
+	}
+}
+
+// TestSnapshotEndpointDisabledWithoutDir: no SnapshotDir, no endpoint.
+func TestSnapshotEndpointDisabledWithoutDir(t *testing.T) {
+	s, ts := newTestServer(t)
+	_ = s
+	resp, _ := postJSON(t, ts.URL+"/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expected 404 without a snapshot dir, got %d", resp.StatusCode)
+	}
+}
+
+// TestRestoreSkipsCorruptFiles: one damaged file must not take down the
+// boot; intact snapshots still restore.
+func TestRestoreSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	opt := serve.Options{Pipeline: core.Options{Seed: 7}, SnapshotDir: dir}
+	s1 := serve.New(opt)
+	if _, err := s1.Registry().Register("ok", graph.Grid(3, 3), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := serve.New(opt)
+	infos, err := s2.RestoreSnapshots()
+	if err == nil || !strings.Contains(err.Error(), "bad.snap") {
+		t.Fatalf("corrupt file not reported: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Name != "ok" {
+		t.Fatalf("intact snapshot not restored: %+v", infos)
+	}
+}
+
+// TestRemovedGraphsStayGone: an explicitly deleted graph must not
+// resurrect from its stale snapshot file on the next boot — DELETE
+// removes the file, and the checkpoint sweep prunes files for graphs no
+// longer registered.
+func TestRemovedGraphsStayGone(t *testing.T) {
+	dir := t.TempDir()
+	opt := serve.Options{
+		Pipeline:    core.Options{Seed: 7},
+		Scheduler:   serve.SchedulerOptions{Window: time.Millisecond},
+		SnapshotDir: dir,
+	}
+	s1 := serve.New(opt)
+	for _, name := range []string{"keep", "drop", "orphan"} {
+		if _, err := s1.Registry().Register(name, graph.Grid(3, 3), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+
+	// DELETE /graphs/drop removes the registry entry and its file.
+	ts := newSnapshotTestServer(t, s1)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/drop", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if _, err := os.Stat(filepath.Join(dir, "drop.snap")); !os.IsNotExist(err) {
+		t.Fatalf("drop.snap survived DELETE: %v", err)
+	}
+
+	// Unregistering outside the handler (stage-2 eviction's effect) is
+	// reconciled by the next checkpoint sweep.
+	if err := s1.Registry().Remove("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orphan.snap")); !os.IsNotExist(err) {
+		t.Fatalf("orphan.snap survived the checkpoint sweep: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.snap")); err != nil {
+		t.Fatalf("keep.snap should remain: %v", err)
+	}
+
+	// A warm boot sees only the surviving graph.
+	s2 := serve.New(opt)
+	infos, err := s2.RestoreSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "keep" {
+		t.Fatalf("restored %+v, want only keep", infos)
+	}
+}
+
+func newSnapshotTestServer(t *testing.T, s *serve.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -245,6 +245,61 @@ func MakeNice(d *Decomposition) *Nice {
 	return nd
 }
 
+// CheckBounds validates the index ranges of a nice decomposition over an
+// n-vertex graph: parallel arrays of equal length, kinds in range, child
+// and parent links in [-1, NumNodes), a valid root, Order a permutation
+// range, bag entries strictly ascending vertices of [0, n), and Width
+// matching the widest bag. It is the cheap first gate for decompositions
+// decoded from untrusted snapshots — after it passes, ValidateNice can
+// check the kind-specific invariants without ever indexing out of
+// bounds.
+func (nd *Nice) CheckBounds(n int) error {
+	nodes := len(nd.Kind)
+	if nodes == 0 {
+		return fmt.Errorf("treedecomp: empty nice decomposition")
+	}
+	if len(nd.Vertex) != nodes || len(nd.Bag) != nodes || len(nd.Left) != nodes ||
+		len(nd.Right) != nodes || len(nd.Parent) != nodes || len(nd.Order) != nodes {
+		return fmt.Errorf("treedecomp: parallel arrays disagree on node count")
+	}
+	if nd.Root < 0 || int(nd.Root) >= nodes {
+		return fmt.Errorf("treedecomp: root %d outside [0, %d)", nd.Root, nodes)
+	}
+	width := 0
+	for i := 0; i < nodes; i++ {
+		if nd.Kind[i] > Join {
+			return fmt.Errorf("treedecomp: node %d has unknown kind %d", i, nd.Kind[i])
+		}
+		if v := nd.Vertex[i]; v < -1 || int(v) >= n {
+			return fmt.Errorf("treedecomp: node %d vertex %d outside [-1, %d)", i, v, n)
+		}
+		for _, link := range [3]int32{nd.Left[i], nd.Right[i], nd.Parent[i]} {
+			if link < -1 || int(link) >= nodes {
+				return fmt.Errorf("treedecomp: node %d link %d outside [-1, %d)", i, link, nodes)
+			}
+		}
+		if o := nd.Order[i]; o < 0 || int(o) >= nodes {
+			return fmt.Errorf("treedecomp: order entry %d outside [0, %d)", o, nodes)
+		}
+		bag := nd.Bag[i]
+		if len(bag) > width {
+			width = len(bag)
+		}
+		for j, v := range bag {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("treedecomp: node %d bag vertex %d outside [0, %d)", i, v, n)
+			}
+			if j > 0 && bag[j-1] >= v {
+				return fmt.Errorf("treedecomp: node %d bag not strictly ascending", i)
+			}
+		}
+	}
+	if nd.Width != width-1 {
+		return fmt.Errorf("treedecomp: declared width %d, widest bag implies %d", nd.Width, width-1)
+	}
+	return nil
+}
+
 // ValidateNice checks the structural invariants of a nice decomposition.
 func ValidateNice(nd *Nice) error {
 	n := nd.NumNodes()

@@ -83,6 +83,8 @@
 package planarsi
 
 import (
+	"io"
+
 	"planarsi/internal/conn"
 	"planarsi/internal/core"
 	"planarsi/internal/graph"
@@ -229,6 +231,19 @@ type IndexStats = index.Stats
 // corresponding package-level call.
 func NewIndex(g *Graph, opt Options) *Index {
 	return index.New(g, opt.core())
+}
+
+// LoadIndex restores an Index from a snapshot previously written with
+// Index.Save: the target graph, options and every completed cached
+// artifact (clusterings, prepared covers, band decompositions) come
+// back behind the same memoization keys, so queries that hit the
+// snapshot's cache skip preprocessing entirely. A restored Index
+// answers byte-identically to the Index that saved it — and to a fresh
+// NewIndex with the same graph and Options. The snapshot format is
+// versioned and checksummed; malformed or truncated input fails with an
+// error, never a panic.
+func LoadIndex(r io.Reader) (*Index, error) {
+	return index.Load(r)
 }
 
 // VerifyOccurrence checks that occ is an injective map from h's vertices

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # serve-smoke: boots the planarsid daemon, fires a scripted query burst
-# with curl, and checks the answers (used by `make serve-smoke` and CI).
+# with curl, checks the answers, then exercises the snapshot warm-restart
+# path end to end (used by `make serve-smoke` and CI).
 #
 # The host is the 3x3 grid, small enough that every expected answer is
 # known exactly: C4 occurs (32 occurrences at seed 1, counting
 # automorphic images), the triangle does not, and the connectivity is 2.
+#
+# Ports are never fixed: the daemon binds 127.0.0.1:0 and the script
+# reads the resolved address from the log, then polls /healthz until the
+# daemon actually serves — no fixed sleeps, no bind collisions when CI
+# jobs run in parallel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,19 +36,6 @@ n 9
 5 8
 EOF
 
-"$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" -window 5ms > "$tmp/log" 2>&1 &
-pid=$!
-
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "serve-smoke: daemon did not start"; cat "$tmp/log"; exit 1
-fi
-
 fail() { echo "serve-smoke: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
 check() { # check <name> <expected-fragment> <actual>
     case "$3" in
@@ -51,9 +44,38 @@ check() { # check <name> <expected-fragment> <actual>
     esac
 }
 
+# boot <extra flags...>: start the daemon on an ephemeral port, parse
+# the resolved address from the log, and poll /healthz until ready.
+boot() {
+    : > "$tmp/log"
+    "$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" \
+        -window 5ms -snapshot-dir "$tmp/snaps" "$@" > "$tmp/log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+        if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "serve-smoke: daemon did not become ready"; cat "$tmp/log"; exit 1
+}
+
+# stop: graceful shutdown, asserting a clean exit.
+stop() {
+    kill -TERM "$pid"
+    rc=0; wait "$pid" || rc=$?
+    pid=""
+    if [ "$rc" -ne 0 ]; then
+        echo "serve-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
+    fi
+}
+
 c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
 c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
 
+boot
 check healthz ok "$(curl -sf "http://$addr/healthz")"
 
 # Concurrent query burst: 4 decides + 4 counts of the same pattern land
@@ -75,11 +97,29 @@ check register '"n":3' "$(printf '0 1\n1 2\n' | curl -sf -X POST "http://$addr/g
 check "decide path" '"found":true' "$(curl -sf -X POST "http://$addr/find" -d '{"graph":"path","pattern":{"n":2,"edges":[[0,1]]}}')"
 check stats '"batches"' "$(curl -sf "http://$addr/stats")"
 
-kill -TERM "$pid"
-rc=0; wait "$pid" || rc=$?
-pid=""
-if [ "$rc" -ne 0 ]; then
-    echo "serve-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
-fi
-echo "serve-smoke: graceful shutdown ok"
+# On-demand checkpoint: the response lists the warmed grid cache and the
+# file lands in the snapshot directory.
+check snapshot '"name":"grid"' "$(curl -sf -X POST "http://$addr/snapshot")"
+[ -f "$tmp/snaps/grid.snap" ] || fail snapshot-file "missing $tmp/snaps/grid.snap"
+echo "serve-smoke: snapshot file ok"
+
+stop
+echo "serve-smoke: graceful shutdown ok (snapshots persisted)"
+
+# Warm restart: the daemon must restore the grid from its snapshot
+# (skipping the edge-list preload and the preprocessing), report a
+# non-empty restored cover cache in the log, and serve identical
+# answers.
+boot
+warm=$(grep "warm boot: restored graph grid" "$tmp/log" || true)
+case "$warm" in
+    *"covers="[1-9]*) echo "serve-smoke: warm boot ok ($(echo "$warm" | sed 's/.*(\(.*\)).*/\1/'))" ;;
+    *) fail "warm boot" "$(cat "$tmp/log")" ;;
+esac
+check "warm skip-preload" "already restored from snapshot" "$(cat "$tmp/log")"
+check "warm count" '"count":32' "$(curl -sf -X POST "http://$addr/count" -d "$c4")"
+check "warm decide C3" '"found":false' "$(curl -sf -X POST "http://$addr/decide" -d "$c3")"
+check "warm connectivity" '"connectivity":2' "$(curl -sf -X POST "http://$addr/connectivity" -d '{"graph":"grid"}')"
+stop
+echo "serve-smoke: warm graceful shutdown ok"
 echo "serve-smoke: PASS"
