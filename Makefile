@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke serve-smoke fuzz-gio fuzz-snap
+.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke bench-load serve-smoke fuzz-gio fuzz-snap
 
 check: lint build test race
 
@@ -35,7 +35,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag ./internal/serve
+	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag ./internal/serve ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -87,3 +87,9 @@ benchstat:
 # fails loudly if a result drifts (each benchmark asserts its answers).
 bench-smoke:
 	$(GO) test -bench 'Table1DecideOurs|StateSet' -benchtime 1x -benchmem -run '^$$' . ./internal/match
+
+# Short planarsiload smoke: boot the daemon, drive both arrival modes
+# for a couple of seconds, assert the latency report is sound.
+# BENCH_6.json records a longer run of the same tool.
+bench-load:
+	./scripts/bench-load.sh

@@ -18,14 +18,25 @@
 //	POST   /separating      adds "terminals":[v,..]; witness occurrence
 //	POST   /connectivity    {"graph":"g"} -> {"connectivity":..,"cut":..}
 //	POST   /snapshot        checkpoint every graph to -snapshot-dir
-//	GET    /stats           registry, scheduler and endpoint counters
+//	GET    /stats           registry, scheduler and endpoint stats
+//	                        (latency p50/p95/p99 per endpoint)
+//	GET    /metrics         Prometheus text exposition of the same
+//	                        histograms and counters
 //	GET    /healthz         liveness probe
+//
+// Query endpoints accept ?trace=1, which adds the query's band-level
+// span timeline ("trace") to the response — which runs and bands ran,
+// how long each took, and where cancellation or fallback struck. With
+// -slow-query, requests at or above the threshold are logged, including
+// their slowest bands when traced.
 //
 // Graphs preloaded with -graph are pinned: the memory budget may shed
 // their cached artifacts but never unregisters them. Decide/count
 // queries arriving within -window of each other against the same graph
-// are coalesced into one batched scan. SIGINT/SIGTERM shut down
-// gracefully, draining in-flight requests.
+// are coalesced into one batched scan (0 disables coalescing; with
+// -adaptive-window the window is a cap that shrinks toward zero while
+// arrivals are sparse). SIGINT/SIGTERM shut down gracefully, draining
+// in-flight requests.
 //
 // With -snapshot-dir, the daemon is restart-durable: boot restores
 // every *.snap in the directory (graphs come back with their
@@ -75,6 +86,8 @@ func main() {
 	engine := flag.String("par-engine", "pool", "parallel execution engine: pool (work-stealing) or semaphore (ablation)")
 	deadline := flag.Duration("deadline", 0, "per-request deadline; expired queries are cancelled mid-band and answered 504 (0 = none)")
 	snapDir := flag.String("snapshot-dir", "", "snapshot directory: warm-boot from its *.snap files, persist on graceful shutdown, expose POST /snapshot (empty disables persistence)")
+	adaptive := flag.Bool("adaptive-window", false, "adapt the micro-batch window to the arrival rate (-window becomes the cap; idle traffic dispatches near-immediately)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests at or above this handler latency, with band spans when traced (0 disables)")
 	var preload []string
 	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -82,9 +95,6 @@ func main() {
 	})
 	flag.Parse()
 
-	if *window == 0 {
-		*window = -1 // flag 0 means "no coalescing" (negative internally)
-	}
 	switch *engine {
 	case "pool":
 		par.SetEngine(par.EnginePool)
@@ -101,14 +111,16 @@ func main() {
 		Pipeline: core.Options{Seed: *seed, MaxRuns: *runs},
 		MaxBytes: *memMB << 20,
 		Scheduler: serve.SchedulerOptions{
-			Window:      *window,
-			MaxBatch:    *maxBatch,
-			MaxInFlight: *inflight,
-			MaxQueued:   *maxQueued,
+			Window:         serve.WindowFromFlag(*window),
+			AdaptiveWindow: *adaptive,
+			MaxBatch:       *maxBatch,
+			MaxInFlight:    *inflight,
+			MaxQueued:      *maxQueued,
 		},
 		MaxGraphVertices: *maxGraphN,
 		RequestTimeout:   *deadline,
 		SnapshotDir:      *snapDir,
+		SlowQuery:        *slowQuery,
 	})
 
 	if *snapDir != "" {

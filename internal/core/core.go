@@ -25,6 +25,7 @@ import (
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 	"planarsi/internal/pmdag"
 	"planarsi/internal/treedecomp"
@@ -71,14 +72,20 @@ type Options struct {
 	// — a rerun with the same Options (and an unfired token) returns
 	// exactly what an uncancelled call would have.
 	Cancel *par.Canceller
+	// Trace, when non-nil, records the call's band timeline: one
+	// "prepare" span per cover repetition (near-zero on a cache hit) and
+	// one "band" span per band with its outcome, plus cancellation
+	// events at the engines' checkpoints. Like Cancel, it is a per-call
+	// attachment that never influences answers.
+	Trace *obs.Recorder
 }
 
 // SameConfig reports whether two option sets produce identical answers
 // and identical cached artifacts: it compares the value fields that feed
 // the pipeline's randomness and shape (Seed, Engine, MaxRuns, Heuristic,
-// Beta) and ignores the per-call attachments (Tracker, Stats, Cancel),
-// which never influence results. Snapshot restore uses it to refuse
-// loading artifacts built under a different configuration.
+// Beta) and ignores the per-call attachments (Tracker, Stats, Cancel,
+// Trace), which never influence results. Snapshot restore uses it to
+// refuse loading artifacts built under a different configuration.
 func (o Options) SameConfig(p Options) bool {
 	return o.Seed == p.Seed && o.Engine == p.Engine && o.MaxRuns == p.MaxRuns &&
 		o.Heuristic == p.Heuristic && o.Beta == p.Beta
@@ -221,9 +228,11 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 		if opt.Cancel.Cancelled() {
 			return false, par.ErrCancelled
 		}
+		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, run)
+		opt.Trace.Span("prepare", run, -1, t0, "")
 		opt.addRun(len(pc.Bands))
-		if preparedHasOccurrence(pc, h, opt) {
+		if preparedHasOccurrence(pc, h, run, opt) {
 			return true, nil
 		}
 	}
@@ -246,7 +255,11 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 // next node/path checkpoint instead of completing — the answer is
 // already decided (yes-answers are exact). The child also inherits the
 // request token, so a gone client fells every band the same way.
-func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool {
+//
+// Every band emits exactly one "band" trace span (including skipped and
+// cancelled ones, with the outcome in the note), so a traced query's
+// band-span count equals the Stats.Bands contribution of its runs.
+func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, run int, opt Options) bool {
 	var found atomic.Bool
 	local := par.NewChild(opt.Cancel)
 	inner := opt
@@ -254,6 +267,7 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool 
 	bands := pc.Bands
 	par.ForGrain(0, len(bands), 1, func(i int) {
 		pb := &bands[i]
+		t0 := inner.Trace.Begin()
 		// The found.Load() check is the pre-pool band-granularity early
 		// exit (skip bands not yet started once the answer is known); it
 		// stays unconditional so the bandCancelEnabled ablation gate
@@ -261,6 +275,7 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool 
 		// pb.Band is nil when a cancelled prepare skipped the band; the
 		// token is observed fired before any such band is reached.
 		if found.Load() || local.Cancelled() || pb.Band == nil || pb.Band.G.N() < h.N() {
+			inner.Trace.Span("band", run, i, t0, "skipped")
 			return
 		}
 		eng, ok := solvePreparedMode(pb, h, false, true, inner)
@@ -269,22 +284,30 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, opt Options) bool 
 			// engine; the naive baseline is exact on the band (and not
 			// cancellable mid-search, so bail if the answer is decided).
 			if local.Cancelled() {
+				inner.Trace.Span("band", run, i, t0, "cancelled")
 				return
 			}
 			if naive.Decide(pb.Band.G, h) {
 				found.Store(true)
 				cancelSiblings(local)
+				inner.Trace.Span("band", run, i, t0, "fallback:found")
+			} else {
+				inner.Trace.Span("band", run, i, t0, "fallback:miss")
 			}
 			return
 		}
 		// A fired token here means our own DP may have aborted mid-run:
 		// its partial result must not be read (and is not needed).
 		if local.Cancelled() {
+			inner.Trace.Span("band", run, i, t0, "cancelled")
 			return
 		}
 		if eng.Found() {
 			found.Store(true)
 			cancelSiblings(local)
+			inner.Trace.Span("band", run, i, t0, "found")
+		} else {
+			inner.Trace.Span("band", run, i, t0, "miss")
 		}
 	})
 	return found.Load()
@@ -323,7 +346,8 @@ func solvePreparedMode(pb *PreparedBand, h *graph.Graph, separating, decideOnly 
 	}
 	b := pb.Band
 	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S,
-		Separating: separating, DecideOnly: decideOnly, Cancel: opt.Cancel}
+		Separating: separating, DecideOnly: decideOnly, Cancel: opt.Cancel,
+		Trace: opt.Trace}
 	if separating || opt.Engine == EngineSequential {
 		// The path-DAG engine covers plain mode only (its state universe
 		// enumeration has no separating labels).

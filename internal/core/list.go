@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -55,10 +56,13 @@ func ListFrom(src CoverSource, g, h *graph.Graph, opt Options) ([]Occurrence, er
 		if opt.Cancel.Cancelled() {
 			return nil, par.ErrCancelled
 		}
+		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, j)
+		opt.Trace.Span("prepare", j, -1, t0, "")
+		run := j
 		j++
 		opt.addRun(len(pc.Bands))
-		occs := enumeratePrepared(pc, h, opt)
+		occs := enumeratePrepared(pc, h, run, opt)
 		added := 0
 		for _, o := range occs {
 			key := o.Key()
@@ -140,9 +144,11 @@ func FindOneFrom(src CoverSource, g, h *graph.Graph, opt Options) (Occurrence, e
 		if opt.Cancel.Cancelled() {
 			return nil, par.ErrCancelled
 		}
+		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, run)
+		opt.Trace.Span("prepare", run, -1, t0, "")
 		opt.addRun(len(pc.Bands))
-		if occ := findInPrepared(pc, h, opt); occ != nil {
+		if occ := findInPrepared(pc, h, run, opt); occ != nil {
 			return occ, nil
 		}
 	}
@@ -159,14 +165,21 @@ func FindOneFrom(src CoverSource, g, h *graph.Graph, opt Options) (Occurrence, e
 // band (the one whose lowest level is the occurrence's closest-to-root
 // level); this keeps the per-run work proportional to the number of
 // occurrences rather than d times it.
-func enumeratePrepared(pc *PreparedCover, h *graph.Graph, opt Options) []Occurrence {
+func enumeratePrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) []Occurrence {
 	bands := pc.Bands
 	results := make([][]Occurrence, len(bands))
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		t0 := opt.Trace.Begin()
 		if opt.Cancel.Cancelled() || bands[i].Band == nil {
+			opt.Trace.Span("band", run, i, t0, "skipped")
 			return
 		}
 		results[i] = enumerateBand(&bands[i], h, opt)
+		if opt.Trace != nil {
+			// The note's occurrence count is only rendered on traced
+			// queries; unexercised fmt stays off the untraced path.
+			opt.Trace.Span("band", run, i, t0, fmt.Sprintf("occs=%d", len(results[i])))
+		}
 	})
 	var out []Occurrence
 	for _, r := range results {
@@ -221,7 +234,7 @@ func touchesLowest(lowest []bool, a match.Assignment) bool {
 // cover (original ids), or nil. The first band to store a hit cancels
 // its siblings mid-DP through a band-local child token (the answer is a
 // single witness; completing the other bands is pure waste).
-func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
+func findInPrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) Occurrence {
 	bands := pc.Bands
 	bandCancel := par.NewChild(opt.Cancel)
 	inner := opt
@@ -231,12 +244,15 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
 	par.ForGrain(0, len(bands), 1, func(i int) {
 		pb := &bands[i]
 		b := pb.Band
+		t0 := inner.Trace.Begin()
 		if bandCancel.Cancelled() || b == nil || b.G.N() < h.N() {
+			inner.Trace.Span("band", run, i, t0, "skipped")
 			return
 		}
 		var local []match.Assignment
 		if eng, ok := solvePrepared(pb, h, false, inner); ok {
 			if bandCancel.Cancelled() {
+				inner.Trace.Span("band", run, i, t0, "cancelled")
 				return
 			}
 			local = eng.Enumerate(1)
@@ -246,8 +262,10 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
 			}
 		}
 		if len(local) == 0 {
+			inner.Trace.Span("band", run, i, t0, "miss")
 			return
 		}
+		inner.Trace.Span("band", run, i, t0, "found")
 		occ := make(Occurrence, len(local[0]))
 		for u, lv := range local[0] {
 			occ[u] = b.Orig[lv]

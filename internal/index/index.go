@@ -41,6 +41,7 @@ import (
 	"planarsi/internal/core"
 	"planarsi/internal/estc"
 	"planarsi/internal/graph"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 	"planarsi/internal/planarity"
 )
@@ -236,13 +237,15 @@ func packMask(s []bool) string {
 }
 
 // queryOptions derives one query's pipeline Options from the Index's,
-// attaching a cancellation token watching ctx. The returned stop func
-// must be deferred by the caller. Cached artifact builds always run with
-// the Index's own token-free Options (see Prepared), so a cancelled
-// query can never leave a partial artifact behind — only the query's own
-// dynamic programs are abandoned.
+// attaching a cancellation token watching ctx and the ctx's span
+// recorder (obs.WithRecorder) when the query is traced. The returned
+// stop func must be deferred by the caller. Cached artifact builds
+// always run with the Index's own token-free Options (see Prepared), so
+// a cancelled query can never leave a partial artifact behind — only
+// the query's own dynamic programs are abandoned.
 func (ix *Index) queryOptions(ctx context.Context) (core.Options, func()) {
 	opt := ix.opt
+	opt.Trace = obs.FromContext(ctx)
 	if ctx == nil || ctx.Done() == nil {
 		return opt, func() {}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"planarsi/internal/graph"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/wd"
@@ -38,6 +39,11 @@ type Problem struct {
 	// completeness of the run, never the content of completed node sets,
 	// is affected, so an uncancelled rerun produces identical answers.
 	Cancel *par.Canceller
+	// Trace, when non-nil, receives one event when the engine observes
+	// Cancel fired at a checkpoint — the span that makes mid-band
+	// cancellation visible in a query's trace timeline. Never touched on
+	// the per-state hot path.
+	Trace *obs.Recorder
 }
 
 func (p *Problem) allowed(v int32) bool {
@@ -171,7 +177,11 @@ func Run(p *Problem, tr *wd.Tracker) *Result {
 	var ji JoinIndex
 	for _, i := range nd.Order {
 		if p.Cancel.Cancelled() {
-			return r // partial: the caller observed Cancel and discards it
+			// Partial: the caller observed Cancel and discards it. The
+			// single event marks where in the bottom-up order the run was
+			// abandoned.
+			p.Trace.Event("dp.cancel", -1, -1, "sequential engine abandoned at node checkpoint")
+			return r
 		}
 		var set *StateSet
 		// emitted batches this node's state emissions; one flush per node

@@ -1,0 +1,164 @@
+// Package obs is the serving stack's dependency-free observability
+// substrate: fixed-bucket atomic histograms (the backing store of both
+// the Prometheus /metrics exposition and the /stats percentiles) and a
+// lightweight per-query span recorder (the band-level trace a ?trace=1
+// query returns).
+//
+// Both halves are deliberately tiny. Histograms are a bounded array of
+// atomic counters — observation is two atomic adds plus a CAS on the
+// float sum, snapshots are lock-free reads, and there is no registry,
+// no label machinery and no dependency beyond the standard library.
+// The recorder is nil-safe (a nil *Recorder records nothing and costs
+// one pointer check), so the pipeline can thread it unconditionally
+// through core.Options next to the cancellation token.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets returns the bucket upper bounds (in seconds) every
+// latency histogram in the serving stack uses: a 100µs..10s log-ish
+// ladder matching the Prometheus client defaults' shape, dense enough
+// that p99 interpolation within a bucket stays honest at serving
+// latencies. Callers own the returned slice.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets returns power-of-two count buckets 1, 2, 4, ... up to and
+// including the first bound >= max — the shape batch-size and
+// queue-depth distributions want.
+func SizeBuckets(max int) []float64 {
+	var out []float64
+	for b := 1; ; b *= 2 {
+		out = append(out, float64(b))
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// Histogram is a fixed-bucket concurrent histogram. Observations land
+// in the first bucket whose upper bound is >= the value; values above
+// every bound land in the implicit +Inf overflow bucket. All methods
+// are safe for concurrent use; a snapshot taken concurrently with
+// observations is a consistent-enough point-in-time view (each counter
+// is read atomically; cross-counter skew is at most the in-flight
+// observations).
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds (plus the implicit +Inf overflow bucket).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram over LatencyBuckets.
+func NewLatencyHistogram() *Histogram { return NewHistogram(LatencyBuckets()) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (the unit every latency
+// histogram and the Prometheus exposition use).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] holds the raw (not
+	// cumulative) count of bucket i, with Counts[len(Bounds)] the +Inf
+	// overflow bucket.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the snapshot's average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the q-th observation,
+// Prometheus histogram_quantile-style. Observations in the +Inf
+// overflow bucket are clamped to the largest finite bound (the
+// documented overflow policy: percentiles saturate at the last bound
+// rather than invent values). Returns 0 on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1] // +Inf bucket: saturate
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

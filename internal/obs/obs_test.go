@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1: {0.5, 1}; le=2: {1.5, 2}; le=4: {3, 4}; +Inf: {5, 100}.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: count = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if math.Abs(s.Sum-117) > 1e-9 {
+		t.Errorf("sum = %v, want 117", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	s := h.Snapshot()
+	// Interpolation inside [0, 1]: p50 = 0.5, p100 = 1.
+	if q := s.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5", q)
+	}
+	if q := s.Quantile(1); math.Abs(q-1) > 1e-9 {
+		t.Errorf("p100 = %v, want 1", q)
+	}
+
+	// Overflow policy: observations beyond the last bound saturate
+	// quantiles at that bound instead of inventing values.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h2.Observe(1000)
+	}
+	if q := h2.Snapshot().Quantile(0.99); q != 4 {
+		t.Errorf("overflow p99 = %v, want saturation at 4", q)
+	}
+
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantilesOrdered(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%37) * 0.001)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 <= 0 {
+		t.Errorf("p50 = %v, want > 0", p50)
+	}
+}
+
+// TestHistogramConcurrent interleaves observers with snapshotters; run
+// under -race it proves the observe/snapshot paths share no unsynchronized
+// state, and the final snapshot must account for every observation.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var cum uint64
+			for _, c := range s.Counts {
+				cum += c
+			}
+			_ = s.Quantile(0.99)
+			_ = cum
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*i%17) * 0.0005)
+			}
+		}(w)
+	}
+	for h.Count() < workers*perWorker {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	got := SizeBuckets(64)
+	want := []float64{1, 2, 4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("SizeBuckets(64) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SizeBuckets(64) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	t0 := r.Begin()
+	time.Sleep(time.Millisecond)
+	r.Span("band", 0, 3, t0, "miss")
+	r.Event("dp.cancel", 1, -1, "checkpoint")
+	spans, dropped := r.Snapshot()
+	if dropped != 0 || len(spans) != 2 {
+		t.Fatalf("spans = %d dropped = %d, want 2/0", len(spans), dropped)
+	}
+	if spans[0].Name != "band" || spans[0].Band != 3 || spans[0].Note != "miss" {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[0].DurMicros < 500 {
+		t.Errorf("span 0 duration = %vµs, want >= 500", spans[0].DurMicros)
+	}
+	if spans[1].DurMicros != 0 {
+		t.Errorf("event duration = %v, want 0", spans[1].DurMicros)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Event("e", 0, i, "")
+	}
+	spans, dropped := r.Snapshot()
+	if len(spans) != 2 || dropped != 3 {
+		t.Fatalf("spans = %d dropped = %d, want 2/3", len(spans), dropped)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	t0 := r.Begin()
+	if !t0.IsZero() {
+		t.Error("nil Begin read the clock")
+	}
+	r.Span("x", 0, 0, t0, "")
+	r.Event("y", 0, 0, "")
+	if spans, dropped := r.Snapshot(); spans != nil || dropped != 0 {
+		t.Error("nil Snapshot returned data")
+	}
+}
+
+func TestRecorderContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context carried a recorder")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx is the point
+		t.Error("nil context carried a recorder")
+	}
+	r := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Error("recorder did not round-trip through the context")
+	}
+}
+
+// TestRecorderConcurrent exercises concurrent span emission (bands run
+// in parallel and share one query recorder) under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				t0 := r.Begin()
+				r.Span("band", w, i, t0, "miss")
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans, dropped := r.Snapshot()
+	if len(spans)+dropped != 400 {
+		t.Fatalf("spans+dropped = %d, want 400", len(spans)+dropped)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one recorded interval (or instant, when DurMicros is 0) of a
+// traced query: a prepared-cover build, one band's dynamic program, or
+// a cancellation event inside an engine. Offsets are relative to the
+// recorder's creation, which the serving layer allocates at request
+// admission, so a span timeline reads as "microseconds into this
+// request".
+type Span struct {
+	// Name identifies the emit point: "prepare" (cover build / cache
+	// hit), "band" (one band's DP), "dp.cancel" / "pmdag.cancel"
+	// (engine-level cancellation checkpoints).
+	Name string `json:"name"`
+	// Run is the independent cover repetition the span belongs to, -1
+	// when not run-scoped.
+	Run int `json:"run"`
+	// Band is the band index within the run's cover, -1 when not
+	// band-scoped.
+	Band int `json:"band"`
+	// StartMicros is the span's start offset from the trace origin.
+	StartMicros float64 `json:"startMicros"`
+	// DurMicros is the span's duration (0 for instant events).
+	DurMicros float64 `json:"durMicros"`
+	// Note carries the outcome: "found", "miss", "skipped",
+	// "cancelled", "fallback", "occs=N", ...
+	Note string `json:"note,omitempty"`
+}
+
+// DefaultSpanLimit bounds a recorder when the caller passes limit <= 0.
+// Traces exist to explain one query's tail latency; past a few hundred
+// spans the timeline is noise, and the cap keeps a hostile or
+// pathological query from growing the response without bound.
+const DefaultSpanLimit = 512
+
+// Recorder accumulates the spans of one traced query. The zero value is
+// not usable; build one with NewRecorder. A nil *Recorder is a valid
+// no-op sink: every method checks the receiver first, so un-traced
+// queries pay one pointer comparison per would-be span.
+type Recorder struct {
+	origin time.Time
+	limit  int
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+}
+
+// NewRecorder returns a recorder whose span offsets are measured from
+// now, keeping at most limit spans (DefaultSpanLimit when <= 0); spans
+// past the cap are counted in Dropped instead of stored.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Recorder{origin: time.Now(), limit: limit}
+}
+
+// Begin returns the start timestamp for a span about to be measured.
+// On a nil recorder it returns the zero time without reading the clock,
+// so un-traced hot paths skip the time.Now call entirely.
+func (r *Recorder) Begin() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records an interval from start (a Begin result) to now.
+func (r *Recorder) Span(name string, run, band int, start time.Time, note string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.add(Span{
+		Name:        name,
+		Run:         run,
+		Band:        band,
+		StartMicros: float64(start.Sub(r.origin).Nanoseconds()) / 1e3,
+		DurMicros:   float64(now.Sub(start).Nanoseconds()) / 1e3,
+		Note:        note,
+	})
+}
+
+// Event records an instant (zero-duration span) at now.
+func (r *Recorder) Event(name string, run, band int, note string) {
+	if r == nil {
+		return
+	}
+	r.add(Span{
+		Name:        name,
+		Run:         run,
+		Band:        band,
+		StartMicros: float64(time.Since(r.origin).Nanoseconds()) / 1e3,
+		Note:        note,
+	})
+}
+
+func (r *Recorder) add(s Span) {
+	r.mu.Lock()
+	if len(r.spans) >= r.limit {
+		r.dropped++
+	} else {
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the recorded spans plus the count of spans
+// dropped at the limit. Safe to call while recording continues.
+func (r *Recorder) Snapshot() (spans []Span, dropped int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out, r.dropped
+}
+
+// ctxKey carries a *Recorder through a context.
+type ctxKey struct{}
+
+// WithRecorder returns a context carrying the recorder; the serving
+// layer attaches one at admission for ?trace=1 requests, and the Index
+// picks it up at the query boundary (so traced and un-traced queries
+// share every other code path).
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil (including for a
+// nil context).
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -91,6 +91,7 @@ func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *St
 	}
 	var dagV, dagE, forestE, shortcutE atomic.Int64
 	var maxHops atomic.Int64
+	var cancelTraced atomic.Bool
 	for _, pathIDs := range pd.PathsByLayer() {
 		ids := pathIDs
 		// All paths of a layer are independent: their bottom nodes only
@@ -103,6 +104,11 @@ func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *St
 			// monotonic token before reading them, and callers that saw
 			// Cancel fire discard the whole Result.
 			if p.Cancel.Cancelled() {
+				// One trace event per run marks the abandonment point;
+				// every concurrently skipped path observes the same token.
+				if p.Trace != nil && !cancelTraced.Swap(true) {
+					p.Trace.Event("pmdag.cancel", -1, -1, "path-DAG engine abandoned at path checkpoint")
+				}
 				return
 			}
 			st := processPath(eng, pd.Paths[ids[j]], cfg, tr)

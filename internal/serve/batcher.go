@@ -9,6 +9,7 @@ import (
 
 	"planarsi/internal/graph"
 	"planarsi/internal/index"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 )
 
@@ -27,14 +28,46 @@ const (
 	KindCount
 )
 
+// DefaultWindow is the micro-batching window a zero SchedulerOptions
+// gets (see the Window convention below).
+const DefaultWindow = 2 * time.Millisecond
+
+// WindowDisabled is the sentinel that turns coalescing off: every
+// request dispatches immediately as a batch of one.
+const WindowDisabled time.Duration = -1
+
+// WindowFromFlag maps the user-facing flag convention onto the
+// SchedulerOptions sentinel convention. Flags (and humans) say "0
+// disables coalescing", but SchedulerOptions must keep 0 meaning "use
+// DefaultWindow" so its zero value stays usable — so the daemon's
+// -window value passes through here: 0 becomes WindowDisabled,
+// everything else is passed through unchanged.
+func WindowFromFlag(d time.Duration) time.Duration {
+	if d == 0 {
+		return WindowDisabled
+	}
+	return d
+}
+
 // SchedulerOptions configures the micro-batching scheduler.
 type SchedulerOptions struct {
 	// Window is how long the first request of a batch waits for company
 	// before the batch is dispatched. Longer windows coalesce more
 	// (better throughput under load) at the cost of idle latency.
-	// 0 takes the default of 2ms; a negative window disables coalescing,
-	// dispatching every request immediately as a batch of one.
+	//
+	// Convention (the single source of truth — flag parsing maps onto
+	// it via WindowFromFlag): a positive Window coalesces with that
+	// window (as a cap, when AdaptiveWindow is set); 0 means "use
+	// DefaultWindow" so the zero value stays usable; any negative value
+	// (canonically WindowDisabled) disables coalescing, dispatching
+	// every request immediately as a batch of one.
 	Window time.Duration
+	// AdaptiveWindow, when set, treats Window as a cap and adapts the
+	// effective window to the observed arrival rate: it shrinks toward
+	// 0 when arrivals are sparse (waiting would buy no company, only
+	// latency) and grows toward Window as the arrival rate rises. See
+	// Scheduler.effectiveWindow for the rule.
+	AdaptiveWindow bool
 	// MaxBatch dispatches a batch early once it holds this many
 	// requests. Default 64.
 	MaxBatch int
@@ -54,7 +87,7 @@ type SchedulerOptions struct {
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	if o.Window == 0 {
-		o.Window = 2 * time.Millisecond
+		o.Window = DefaultWindow
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
@@ -89,6 +122,19 @@ type Scheduler struct {
 	maxBatch  atomic.Int64 // largest batch dispatched so far
 	inFlight  atomic.Int64
 	waitNanos atomic.Int64 // total time requests spent waiting for their batch
+
+	// Scheduler shape distributions, exposed on /metrics: how big the
+	// batches actually are, how long requests sit waiting for them, and
+	// how deep the queue runs at admission.
+	batchSizes *obs.Histogram
+	waits      *obs.Histogram
+	depths     *obs.Histogram
+
+	// Arrival-rate tracking for the adaptive window: lastArrival is the
+	// previous Submit's UnixNano, ewmaIANs an exponentially weighted
+	// moving average (alpha 1/8) of inter-arrival times in nanoseconds.
+	lastArrival atomic.Int64
+	ewmaIANs    atomic.Int64
 }
 
 // groupKey identifies one coalescing bucket: requests batch only with
@@ -123,10 +169,60 @@ type request struct {
 func NewScheduler(opt SchedulerOptions) *Scheduler {
 	opt = opt.withDefaults()
 	return &Scheduler{
-		opt:    opt,
-		sem:    make(chan struct{}, opt.MaxInFlight),
-		groups: make(map[groupKey]*group),
+		opt:        opt,
+		sem:        make(chan struct{}, opt.MaxInFlight),
+		groups:     make(map[groupKey]*group),
+		batchSizes: obs.NewHistogram(obs.SizeBuckets(opt.MaxBatch)),
+		waits:      obs.NewLatencyHistogram(),
+		depths:     obs.NewHistogram(obs.SizeBuckets(opt.MaxQueued)),
 	}
+}
+
+// observeArrival feeds one Submit arrival into the EWMA inter-arrival
+// estimate the adaptive window reads. Lock-free: a racing pair of
+// arrivals may each fold in a slightly stale gap, which only perturbs
+// the estimate by less than the noise the EWMA exists to smooth.
+func (s *Scheduler) observeArrival(now time.Time) {
+	ns := now.UnixNano()
+	prev := s.lastArrival.Swap(ns)
+	if prev == 0 || ns <= prev {
+		return
+	}
+	ia := ns - prev
+	for {
+		old := s.ewmaIANs.Load()
+		next := ia
+		if old != 0 {
+			next = old + (ia-old)/8
+		}
+		if s.ewmaIANs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// effectiveWindow is the window the next batch timer is armed with.
+// With AdaptiveWindow off it is simply opt.Window (0 when coalescing is
+// disabled). With it on, opt.Window acts as a cap W and the effective
+// window is W²/(W + ia) for the EWMA inter-arrival ia: when arrivals
+// are sparse (ia >> W) the window collapses toward 0 — waiting would
+// buy no batch-mates, only latency — and as the arrival rate rises
+// (ia → 0) it climbs smoothly back to the full cap. The float math
+// sidesteps int64 overflow for huge idle gaps.
+func (s *Scheduler) effectiveWindow() time.Duration {
+	w := s.opt.Window
+	if w < 0 {
+		return 0
+	}
+	if !s.opt.AdaptiveWindow {
+		return w
+	}
+	ia := s.ewmaIANs.Load()
+	if ia <= 0 {
+		return w
+	}
+	cap := float64(w)
+	return time.Duration(cap * cap / (cap + float64(ia)))
 }
 
 func (s *Scheduler) group(key groupKey) *group {
@@ -152,11 +248,13 @@ func (s *Scheduler) Forget(e *Entry) {
 
 // admit reserves a queue slot, failing fast when the scheduler is full.
 func (s *Scheduler) admit() error {
-	if s.queued.Add(1) > int64(s.opt.MaxQueued) {
+	depth := s.queued.Add(1)
+	if depth > int64(s.opt.MaxQueued) {
 		s.queued.Add(-1)
 		s.rejected.Add(1)
 		return ErrOverloaded
 	}
+	s.depths.Observe(float64(depth))
 	return nil
 }
 
@@ -184,11 +282,16 @@ func (s *Scheduler) Submit(ctx context.Context, e *Entry, kind BatchKind, h *gra
 	// MaxQueued bound while dead work piles up behind the in-flight
 	// semaphore.
 	rq := request{ctx: ctx, h: h, enqueued: time.Now(), done: make(chan index.ScanResult, 1)}
-	if s.opt.Window < 0 {
-		// Coalescing disabled: dispatch a singleton batch. Still async,
-		// so a context that dies while the batch waits for an in-flight
-		// slot unblocks Submit immediately (the dead query itself is
-		// cancelled through the batch context once dispatched).
+	s.observeArrival(rq.enqueued)
+	if s.opt.Window < 0 || obs.FromContext(ctx) != nil {
+		// Dispatch a singleton batch: either coalescing is disabled, or
+		// the request carries a ?trace=1 span recorder — a traced request
+		// must ride alone so that its own context (the recorder's
+		// carrier) is the batch context the Scan runs under, rather than
+		// a merged context that would blend its spans with batch-mates'.
+		// Still async, so a context that dies while the batch waits for
+		// an in-flight slot unblocks Submit immediately (the dead query
+		// itself is cancelled through the batch context once dispatched).
 		go s.dispatch(e, kind, []request{rq})
 		select {
 		case res := <-rq.done:
@@ -207,7 +310,7 @@ func (s *Scheduler) Submit(ctx context.Context, e *Entry, kind BatchKind, h *gra
 		go s.dispatch(e, kind, batch)
 	} else {
 		if len(g.pending) == 1 {
-			g.timer = time.AfterFunc(s.opt.Window, g.flush)
+			g.timer = time.AfterFunc(s.effectiveWindow(), g.flush)
 		}
 		g.mu.Unlock()
 	}
@@ -303,8 +406,11 @@ func (s *Scheduler) run(e *Entry, kind BatchKind, batch []request) []index.ScanR
 
 	start := time.Now()
 	for _, rq := range batch {
-		s.waitNanos.Add(start.Sub(rq.enqueued).Nanoseconds())
+		wait := start.Sub(rq.enqueued)
+		s.waitNanos.Add(wait.Nanoseconds())
+		s.waits.ObserveDuration(wait)
 	}
+	s.batchSizes.Observe(float64(len(batch)))
 	patterns := make([]*graph.Graph, len(batch))
 	for i, rq := range batch {
 		patterns[i] = rq.h
@@ -371,6 +477,10 @@ type SchedulerStats struct {
 	// AvgWaitMicros is the mean time a request spent waiting for its
 	// batch to dispatch (the coalescing latency cost).
 	AvgWaitMicros float64 `json:"avgWaitMicros"`
+	// WindowMicros is the effective window the next batch timer would
+	// be armed with right now — equal to the configured window unless
+	// AdaptiveWindow has shrunk it toward 0 under sparse arrivals.
+	WindowMicros float64 `json:"windowMicros"`
 }
 
 // Stats returns a snapshot of the scheduler counters.
@@ -386,5 +496,6 @@ func (s *Scheduler) Stats() SchedulerStats {
 	if st.Requests > 0 {
 		st.AvgWaitMicros = float64(s.waitNanos.Load()) / float64(st.Requests) / 1e3
 	}
+	st.WindowMicros = float64(s.effectiveWindow()) / 1e3
 	return st
 }

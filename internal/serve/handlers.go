@@ -11,6 +11,7 @@ import (
 	"planarsi/internal/core"
 	"planarsi/internal/gio"
 	"planarsi/internal/graph"
+	"planarsi/internal/obs"
 )
 
 // StatusClientClosedRequest is the (nginx-conventional) status reported
@@ -115,6 +116,29 @@ type QueryResponse struct {
 	// Occurrence maps pattern vertex u to target vertex Occurrence[u]
 	// (/find and /separating, when found).
 	Occurrence core.Occurrence `json:"occurrence,omitempty"`
+	// Trace carries the query's band timeline when it was requested with
+	// ?trace=1; absent otherwise.
+	Trace *TraceJSON `json:"trace,omitempty"`
+}
+
+// TraceJSON is the wire form of a ?trace=1 span timeline.
+type TraceJSON struct {
+	Spans []obs.Span `json:"spans"`
+	// Dropped counts spans lost to the recorder's bound; nonzero means
+	// the timeline is a prefix of the query's real span stream.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// traceJSON extracts the request's recorded spans, when it carried a
+// ?trace=1 recorder (attached by instrument via traced). Nil otherwise,
+// so untraced responses omit the field entirely.
+func traceJSON(r *http.Request) *TraceJSON {
+	rec := obs.FromContext(r.Context())
+	if rec == nil {
+		return nil
+	}
+	spans, dropped := rec.Snapshot()
+	return &TraceJSON{Spans: spans, Dropped: dropped}
 }
 
 // ConnectivityResponse is the JSON body of /connectivity answers.
@@ -214,7 +238,7 @@ func (s *Server) handleBatched(kind BatchKind) http.HandlerFunc {
 			httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
 			return
 		}
-		out := QueryResponse{Graph: req.Graph, Found: res.Found}
+		out := QueryResponse{Graph: req.Graph, Found: res.Found, Trace: traceJSON(r)}
 		if kind == KindCount {
 			out.Count = &res.Count
 		}
@@ -239,7 +263,7 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 		httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ})
+	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
 }
 
 func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
@@ -272,7 +296,7 @@ func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
 		httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ})
+	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
 }
 
 func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {

@@ -2,27 +2,48 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"planarsi/internal/obs"
 )
 
-// endpointMetrics accumulates one endpoint's latency/throughput counters
-// with plain atomics (the hot path adds no locks to request handling).
+// endpointMetrics accumulates one endpoint's traffic in a fixed-bucket
+// latency histogram plus outcome counters. The hot path adds no locks
+// to request handling: a histogram observation is two atomic adds and a
+// CAS, and the outcome counters are plain atomics.
+//
+// Outcomes are three-way. "Canceled" covers requests that died because
+// the *client* went away or outlived its deadline (HTTP 499 and 504) —
+// lumping those into the error rate made every impatient client look
+// like a server failure, so they are counted (and exposed) separately
+// from genuine errors (every other status >= 400).
 type endpointMetrics struct {
-	count   atomic.Uint64
-	errors  atomic.Uint64
-	totalNs atomic.Int64
-	maxNs   atomic.Int64
+	hist     *obs.Histogram // handler latency, seconds
+	errors   atomic.Uint64
+	canceled atomic.Uint64
+	maxNs    atomic.Int64
 }
 
-func (m *endpointMetrics) observe(d time.Duration, failed bool) {
-	m.count.Add(1)
-	if failed {
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{hist: obs.NewLatencyHistogram()}
+}
+
+func (m *endpointMetrics) observe(d time.Duration, status int) {
+	m.hist.ObserveDuration(d)
+	switch {
+	case status == StatusClientClosedRequest || status == http.StatusGatewayTimeout:
+		m.canceled.Add(1)
+	case status >= 400:
 		m.errors.Add(1)
 	}
 	ns := d.Nanoseconds()
-	m.totalNs.Add(ns)
 	for {
 		prev := m.maxNs.Load()
 		if ns <= prev || m.maxNs.CompareAndSwap(prev, ns) {
@@ -31,27 +52,43 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	}
 }
 
-// EndpointStats is one endpoint's snapshot in /stats.
+// EndpointStats is one endpoint's snapshot in /stats, derived from the
+// same histogram /metrics exposes (one source of truth for both views).
 type EndpointStats struct {
-	Count  uint64 `json:"count"`
-	Errors uint64 `json:"errors"`
+	Count uint64 `json:"count"`
+	// Errors counts statuses >= 400 excluding client cancellations;
+	// Canceled counts 499s (client gone) and 504s (deadline expired).
+	Errors   uint64 `json:"errors"`
+	Canceled uint64 `json:"canceled"`
 	// AvgMillis and MaxMillis summarize handler latency, including any
-	// time spent waiting in the micro-batching window.
+	// time spent waiting in the micro-batching window. P50/P95/P99 are
+	// histogram-interpolated percentiles of the same distribution.
 	AvgMillis float64 `json:"avgMillis"`
 	MaxMillis float64 `json:"maxMillis"`
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
 }
 
 func (m *endpointMetrics) snapshot() EndpointStats {
-	st := EndpointStats{Count: m.count.Load(), Errors: m.errors.Load()}
-	if st.Count > 0 {
-		st.AvgMillis = float64(m.totalNs.Load()) / float64(st.Count) / 1e6
+	h := m.hist.Snapshot()
+	return EndpointStats{
+		Count:     h.Count,
+		Errors:    m.errors.Load(),
+		Canceled:  m.canceled.Load(),
+		AvgMillis: h.Mean() * 1e3,
+		MaxMillis: float64(m.maxNs.Load()) / 1e6,
+		P50Millis: h.Quantile(0.50) * 1e3,
+		P95Millis: h.Quantile(0.95) * 1e3,
+		P99Millis: h.Quantile(0.99) * 1e3,
 	}
-	st.MaxMillis = float64(m.maxNs.Load()) / 1e6
-	return st
 }
 
-// statusRecorder captures the response status so errors (>= 400) can be
-// counted per endpoint.
+// statusRecorder captures the response status for the outcome counters
+// while keeping the underlying ResponseWriter's optional interfaces
+// reachable: Unwrap feeds http.NewResponseController, and the explicit
+// Flush/ReadFrom pass-throughs keep streaming responses and sendfile
+// working for handlers that type-assert the writer directly.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -62,11 +99,47 @@ func (w *statusRecorder) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with the named endpoint's counters and,
-// when Options.RequestTimeout is set, the per-request deadline (the
+// Unwrap exposes the wrapped writer to http.NewResponseController,
+// which walks Unwrap chains to find Flusher/Hijacker/deadline support.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards to the underlying writer when it can flush (a no-op
+// otherwise, matching ResponseController's ErrNotSupported semantics
+// for callers that only best-effort flush).
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom preserves the sendfile fast path: io.Copy into the wrapper
+// finds this method and lands on the underlying writer's ReadFrom when
+// it has one, instead of degrading to the generic buffer loop.
+func (w *statusRecorder) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(r)
+	}
+	return io.Copy(io.Writer(w.ResponseWriter), r)
+}
+
+// traced reports whether the request opted into span recording and, if
+// so, returns it with a fresh recorder attached to its context. The
+// check is a cheap substring probe before the URL query is parsed, so
+// untraced requests never allocate the parsed form here.
+func traced(r *http.Request) (*http.Request, *obs.Recorder) {
+	if !strings.Contains(r.URL.RawQuery, "trace") || r.URL.Query().Get("trace") != "1" {
+		return r, nil
+	}
+	rec := obs.NewRecorder(0)
+	return r.WithContext(obs.WithRecorder(r.Context(), rec)), rec
+}
+
+// instrument wraps a handler with the named endpoint's histogram and
+// counters, the ?trace=1 span recorder, the slow-query log, and, when
+// Options.RequestTimeout is set, the per-request deadline (the
 // cancellation token every query derives from r.Context()).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	m := &endpointMetrics{}
+	m := newEndpointMetrics()
 	s.metrics[name] = m
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.opt.RequestTimeout > 0 {
@@ -74,9 +147,54 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		r, trace := traced(r)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		m.observe(time.Since(start), rec.status >= 400)
+		d := time.Since(start)
+		m.observe(d, rec.status)
+		if s.opt.SlowQuery > 0 && d >= s.opt.SlowQuery {
+			s.logSlow(name, d, rec.status, trace)
+		}
 	}
+}
+
+// logSlow reports one request that exceeded Options.SlowQuery. When the
+// request was traced, the log line carries its slowest band spans — the
+// band timeline that explains where the tail latency went.
+func (s *Server) logSlow(endpoint string, d time.Duration, status int, trace *obs.Recorder) {
+	logf := s.opt.SlowLogf
+	if logf == nil {
+		logf = log.Printf
+	}
+	detail := ""
+	if trace != nil {
+		if spans, _ := trace.Snapshot(); len(spans) > 0 {
+			detail = " slowest bands: " + slowestBands(spans, 3)
+		}
+	}
+	logf("serve: slow query: endpoint=%s status=%d dur=%s%s", endpoint, status, d, detail)
+}
+
+// slowestBands renders the top-k longest band spans as
+// "run/band=dur(note)" entries.
+func slowestBands(spans []obs.Span, k int) string {
+	bands := spans[:0:0]
+	for _, sp := range spans {
+		if sp.Name == "band" {
+			bands = append(bands, sp)
+		}
+	}
+	sort.Slice(bands, func(i, j int) bool { return bands[i].DurMicros > bands[j].DurMicros })
+	if len(bands) > k {
+		bands = bands[:k]
+	}
+	var b strings.Builder
+	for i, sp := range bands {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d/%d=%.0fµs(%s)", sp.Run, sp.Band, sp.DurMicros, sp.Note)
+	}
+	return b.String()
 }

@@ -1,0 +1,133 @@
+package serve
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled on the
+// standard library: the container bakes no client_golang, and the whole
+// surface needed here is histograms, counters and gauges over a fixed,
+// startup-time metric set. Families and label values are emitted in
+// sorted order so the output is deterministic (the golden test relies
+// on it) and diff-friendly for scrape debugging.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"planarsi/internal/obs"
+)
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	s.writeMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
+}
+
+// writeMetrics renders every metric family. The metrics map is written
+// only during routes() (startup), so iterating it here without a lock
+// is safe; the histograms and counters themselves are atomic.
+func (s *Server) writeMetrics(b *bytes.Buffer) {
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	writeHeader(b, "planarsi_http_request_duration_seconds",
+		"Handler latency per endpoint, including micro-batch window waits.", "histogram")
+	for _, name := range names {
+		writeHistogram(b, "planarsi_http_request_duration_seconds",
+			`endpoint="`+name+`"`, s.metrics[name].hist.Snapshot())
+	}
+
+	writeHeader(b, "planarsi_http_requests_total",
+		"Requests per endpoint by outcome: ok, error (status >= 400), or canceled (client gone: 499/504).", "counter")
+	for _, name := range names {
+		m := s.metrics[name]
+		total := m.hist.Count()
+		errors := m.errors.Load()
+		canceled := m.canceled.Load()
+		writeSample(b, "planarsi_http_requests_total", `endpoint="`+name+`",result="ok"`, float64(total-errors-canceled))
+		writeSample(b, "planarsi_http_requests_total", `endpoint="`+name+`",result="error"`, float64(errors))
+		writeSample(b, "planarsi_http_requests_total", `endpoint="`+name+`",result="canceled"`, float64(canceled))
+	}
+
+	sst := s.sched.Stats()
+	writeHeader(b, "planarsi_sched_batch_size",
+		"Requests per dispatched micro-batch.", "histogram")
+	writeHistogram(b, "planarsi_sched_batch_size", "", s.sched.batchSizes.Snapshot())
+	writeHeader(b, "planarsi_sched_window_wait_seconds",
+		"Time requests spent waiting for their batch to dispatch.", "histogram")
+	writeHistogram(b, "planarsi_sched_window_wait_seconds", "", s.sched.waits.Snapshot())
+	writeHeader(b, "planarsi_sched_queue_depth",
+		"Scheduler queue depth observed at each admission.", "histogram")
+	writeHistogram(b, "planarsi_sched_queue_depth", "", s.sched.depths.Snapshot())
+
+	writeCounter(b, "planarsi_sched_batches_total", "Dispatched micro-batches.", float64(sst.Batches))
+	writeCounter(b, "planarsi_sched_requests_total", "Requests executed through the scheduler.", float64(sst.Requests))
+	writeCounter(b, "planarsi_sched_rejected_total", "Requests rejected at admission (queue full).", float64(sst.Rejected))
+	writeGauge(b, "planarsi_sched_inflight", "Batches executing right now.", float64(sst.InFlight))
+	writeGauge(b, "planarsi_sched_queued", "Requests waiting anywhere in the scheduler.", float64(sst.Queued))
+	writeGauge(b, "planarsi_sched_window_seconds",
+		"Effective micro-batch window the next batch timer is armed with (adapts to arrival rate when enabled).",
+		s.sched.effectiveWindow().Seconds())
+
+	rst := s.reg.Stats()
+	writeGauge(b, "planarsi_registry_graphs", "Registered host graphs.", float64(len(rst.Graphs)))
+	writeGauge(b, "planarsi_registry_bytes", "Bytes held by graphs plus cached artifacts.", float64(rst.Bytes))
+	writeGauge(b, "planarsi_registry_max_bytes", "Registry memory budget (0 = unlimited).", float64(rst.MaxBytes))
+	writeCounter(b, "planarsi_registry_cache_resets_total", "Stage-1 evictions: Index caches shed under memory pressure.", float64(rst.CacheResets))
+	writeCounter(b, "planarsi_registry_evictions_total", "Stage-2 evictions: unpinned graphs dropped under memory pressure.", float64(rst.Evictions))
+
+	writeGauge(b, "planarsi_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+}
+
+func writeHeader(b *bytes.Buffer, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeHistogram renders one histogram series (cumulative buckets, sum,
+// count) under the given label set (may be empty).
+func writeHistogram(b *bytes.Buffer, name, labels string, h obs.HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatValue(h.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count)
+}
+
+func writeCounter(b *bytes.Buffer, name, help string, v float64) {
+	writeHeader(b, name, help, "counter")
+	writeSample(b, name, "", v)
+}
+
+func writeGauge(b *bytes.Buffer, name, help string, v float64) {
+	writeHeader(b, name, help, "gauge")
+	writeSample(b, name, "", v)
+}
+
+func writeSample(b *bytes.Buffer, name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatValue(v))
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal round-trip ("0.005", not "5e-03").
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

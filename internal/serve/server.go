@@ -31,6 +31,12 @@ type Options struct {
 	// every registered graph there, and POST /snapshot is exposed for
 	// on-demand checkpointing.
 	SnapshotDir string
+	// SlowQuery, when positive, logs every request whose handler latency
+	// reaches the threshold; when the request was traced (?trace=1) the
+	// log line includes its slowest band spans. 0 disables the log.
+	SlowQuery time.Duration
+	// SlowLogf receives slow-query log lines; nil means log.Printf.
+	SlowLogf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +98,10 @@ func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	// /metrics is deliberately uninstrumented: scrapes every few seconds
+	// would dominate the low-traffic endpoints' histograms, and the
+	// exposition must not grow a family for its own scrape traffic.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /graphs", s.instrument("graphs.list", s.handleListGraphs))
 	mux.HandleFunc("POST /graphs/{name}", s.instrument("graphs.register", s.handleRegisterGraph))
 	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("graphs.remove", s.handleRemoveGraph))

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"planarsi/internal/graph"
+)
+
+// TestWindowFromFlag pins the flag-to-option mapping: flag 0 means "no
+// coalescing" and must land on WindowDisabled, not on the option
+// zero-value (which means DefaultWindow). This was a real mismatch: the
+// daemon documented "-window 0 disables coalescing" while a zero Window
+// silently took the 2ms default.
+func TestWindowFromFlag(t *testing.T) {
+	if got := WindowFromFlag(0); got != WindowDisabled {
+		t.Errorf("WindowFromFlag(0) = %v, want WindowDisabled", got)
+	}
+	if got := WindowFromFlag(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Errorf("WindowFromFlag(5ms) = %v, want 5ms", got)
+	}
+	if got := WindowFromFlag(WindowDisabled); got != WindowDisabled {
+		t.Errorf("WindowFromFlag(WindowDisabled) = %v, want WindowDisabled", got)
+	}
+	if got := (SchedulerOptions{}).withDefaults().Window; got != DefaultWindow {
+		t.Errorf("zero SchedulerOptions window = %v, want DefaultWindow", got)
+	}
+}
+
+// TestWindowDisabledDispatchesSingletons is the -window 0 regression
+// test: with coalescing disabled, a concurrent burst must produce one
+// batch per request (MaxBatch stat of exactly 1), never a coalesced
+// batch.
+func TestWindowDisabledDispatchesSingletons(t *testing.T) {
+	g := graph.Grid(5, 5)
+	reg := NewRegistry(RegistryOptions{Pipeline: testOpt})
+	e, err := reg.Register("g", g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(SchedulerOptions{Window: WindowFromFlag(0)})
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sched.Submit(context.Background(), e, KindDecide, graph.Cycle(4)); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := sched.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches != n {
+		t.Errorf("batches = %d, want %d (every request its own batch)", st.Batches, n)
+	}
+	if st.MaxBatch != 1 {
+		t.Errorf("maxBatch = %d, want 1", st.MaxBatch)
+	}
+}
+
+// TestAdaptiveWindowShrinksWhenIdle feeds the arrival estimator a
+// sparse arrival pattern and checks the effective window collapses far
+// below the cap: an idle service should not tax its rare requests with
+// the full coalescing wait.
+func TestAdaptiveWindowShrinksWhenIdle(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Window: 2 * time.Millisecond, AdaptiveWindow: true})
+	base := time.Unix(1000, 0)
+	s.observeArrival(base)
+	s.observeArrival(base.Add(time.Second)) // one request per second: idle
+
+	got := s.effectiveWindow()
+	if got >= s.opt.Window/100 {
+		t.Errorf("effective window = %v under 1s inter-arrivals, want < %v", got, s.opt.Window/100)
+	}
+}
+
+// TestAdaptiveWindowHonorsCapUnderBurst feeds a dense arrival stream
+// and checks the effective window climbs back toward — but never past —
+// the configured cap.
+func TestAdaptiveWindowHonorsCapUnderBurst(t *testing.T) {
+	cap := 2 * time.Millisecond
+	s := NewScheduler(SchedulerOptions{Window: cap, AdaptiveWindow: true})
+	at := time.Unix(1000, 0)
+	for i := 0; i < 200; i++ { // 100k req/s: the EWMA converges to 10µs
+		s.observeArrival(at)
+		at = at.Add(10 * time.Microsecond)
+	}
+
+	got := s.effectiveWindow()
+	if got > cap {
+		t.Errorf("effective window = %v exceeds the cap %v", got, cap)
+	}
+	if got < cap/2 {
+		t.Errorf("effective window = %v under a 10µs-inter-arrival burst, want >= %v", got, cap/2)
+	}
+}
+
+// TestEffectiveWindowNonAdaptive pins the non-adaptive behaviors: a
+// fixed window passes through untouched, and a disabled window reads
+// as 0.
+func TestEffectiveWindowNonAdaptive(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Window: 3 * time.Millisecond})
+	s.observeArrival(time.Unix(1000, 0))
+	s.observeArrival(time.Unix(2000, 0))
+	if got := s.effectiveWindow(); got != 3*time.Millisecond {
+		t.Errorf("non-adaptive effective window = %v, want 3ms", got)
+	}
+	s = NewScheduler(SchedulerOptions{Window: WindowDisabled, AdaptiveWindow: true})
+	if got := s.effectiveWindow(); got != 0 {
+		t.Errorf("disabled effective window = %v, want 0", got)
+	}
+}
+
+// flushCountingWriter counts Flush calls through the http.Flusher
+// interface.
+type flushCountingWriter struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (w *flushCountingWriter) Flush() { w.flushes++ }
+
+// readFromWriter records whether the sendfile fast path (io.ReaderFrom)
+// was taken.
+type readFromWriter struct {
+	*httptest.ResponseRecorder
+	readFroms int
+}
+
+func (w *readFromWriter) ReadFrom(r io.Reader) (int64, error) {
+	w.readFroms++
+	return io.Copy(w.ResponseRecorder, r)
+}
+
+// TestStatusRecorderKeepsOptionalInterfaces is the interface-loss
+// regression test: wrapping a ResponseWriter in the metrics recorder
+// must not sever Flusher, ReaderFrom, or http.NewResponseController
+// reachability.
+func TestStatusRecorderKeepsOptionalInterfaces(t *testing.T) {
+	fw := &flushCountingWriter{ResponseRecorder: httptest.NewRecorder()}
+	rec := &statusRecorder{ResponseWriter: fw, status: http.StatusOK}
+
+	// Direct type assertion, the way streaming handlers flush.
+	f, ok := http.ResponseWriter(rec).(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder lost http.Flusher")
+	}
+	f.Flush()
+	if fw.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", fw.flushes)
+	}
+
+	// Through http.NewResponseController, which walks Unwrap.
+	if err := http.NewResponseController(rec).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush: %v", err)
+	}
+	if fw.flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", fw.flushes)
+	}
+
+	// io.Copy into the wrapper must land on the underlying ReadFrom.
+	// (The source is wrapped to hide strings.Reader's WriterTo, which
+	// io.Copy would otherwise prefer over the destination's ReadFrom.)
+	rw := &readFromWriter{ResponseRecorder: httptest.NewRecorder()}
+	rec = &statusRecorder{ResponseWriter: rw, status: http.StatusOK}
+	if _, err := io.Copy(rec, struct{ io.Reader }{strings.NewReader("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	if rw.readFroms != 1 {
+		t.Fatalf("ReadFrom calls = %d, want 1 (sendfile path severed)", rw.readFroms)
+	}
+	if got := rw.Body.String(); got != "payload" {
+		t.Fatalf("body = %q, want %q", got, "payload")
+	}
+
+	// The fallback still writes correctly when the underlying writer has
+	// no ReadFrom.
+	plain := httptest.NewRecorder()
+	rec = &statusRecorder{ResponseWriter: plain, status: http.StatusOK}
+	if _, err := io.Copy(rec, struct{ io.Reader }{strings.NewReader("fallback")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Body.String(); got != "fallback" {
+		t.Fatalf("body = %q, want %q", got, "fallback")
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench-load: short planarsiload smoke against a freshly booted planarsid
+# (used by `make bench-load` and the bench-smoke CI job). Checks that
+# both arrival modes complete, the JSON report carries percentiles for
+# every mode, and no request errored. BENCH_6.json documents the same
+# run at full length.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/planarsid" ./cmd/planarsid
+go build -o "$tmp/planarsiload" ./cmd/planarsiload
+
+"$tmp/planarsid" -addr 127.0.0.1:0 -runs 4 -adaptive-window > "$tmp/log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+    if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    addr=""
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "bench-load: daemon did not become ready"; cat "$tmp/log"; exit 1
+fi
+
+"$tmp/planarsiload" -addr "http://$addr" -register-grid 8x8 -mode both \
+    -rate 25 -concurrency 2 -duration 2s -out "$tmp/report.json"
+
+for frag in '"open"' '"closed"' '"p99Millis"' '"throughputRps"'; do
+    if ! grep -q "$frag" "$tmp/report.json"; then
+        echo "bench-load: report missing $frag"; cat "$tmp/report.json"; exit 1
+    fi
+done
+if grep -Eq '"errors": [1-9]' "$tmp/report.json"; then
+    echo "bench-load: report shows request errors"; cat "$tmp/report.json"; exit 1
+fi
+echo "bench-load: PASS"

@@ -96,6 +96,22 @@ check connectivity '"connectivity":2' "$(curl -sf -X POST "http://$addr/connecti
 check register '"n":3' "$(printf '0 1\n1 2\n' | curl -sf -X POST "http://$addr/graphs/path" --data-binary @-)"
 check "decide path" '"found":true' "$(curl -sf -X POST "http://$addr/find" -d '{"graph":"path","pattern":{"n":2,"edges":[[0,1]]}}')"
 check stats '"batches"' "$(curl -sf "http://$addr/stats")"
+check "stats percentiles" '"p99Millis"' "$(curl -sf "http://$addr/stats")"
+
+# A traced query returns its band timeline inline.
+check "trace spans" '"name":"band"' "$(curl -sf -X POST "http://$addr/decide?trace=1" -d "$c4")"
+
+# Prometheus exposition: the families exist and the decide counter saw
+# the burst above (>= 9 ok requests so far on this endpoint).
+metrics=$(curl -sf "http://$addr/metrics")
+check "metrics type" 'TYPE planarsi_http_request_duration_seconds histogram' "$metrics"
+check "metrics buckets" 'planarsi_http_request_duration_seconds_bucket{endpoint="decide",le="+Inf"}' "$metrics"
+check "metrics sched" 'planarsi_sched_batches_total' "$metrics"
+decide_ok=$(echo "$metrics" | sed -n 's/^planarsi_http_requests_total{endpoint="decide",result="ok"} //p')
+if [ -z "$decide_ok" ] || [ "$decide_ok" -lt 6 ]; then
+    fail "metrics decide counter" "${decide_ok:-missing}"
+fi
+echo "serve-smoke: metrics ok (decide ok=$decide_ok)"
 
 # On-demand checkpoint: the response lists the warmed grid cache and the
 # file lands in the snapshot directory.
