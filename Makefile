@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke bench-load serve-smoke fuzz-gio fuzz-snap
+.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke bench-load serve-smoke chaos-smoke fuzz-gio fuzz-snap
 
 check: lint build test race
 
@@ -61,6 +61,14 @@ bench-engines:
 # Boot the planarsid daemon, fire a scripted curl burst, check answers.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Boot the daemon under deterministic fault injection and prove the
+# resilience layer: panic -> 500 + incident id, breaker open/half-open/
+# close lifecycle with Retry-After, byte-identical answers after
+# recovery, snapshot write/read faults, and a probabilistic panic storm
+# under planarsiload -chaos. RACE=1 builds the daemon with -race.
+chaos-smoke:
+	RACE=$(RACE) ./scripts/chaos-smoke.sh
 
 # Fuzz budget per target: 30s is the quick local pass; the nightly
 # workflow overrides it (make fuzz-gio FUZZTIME=10m).

@@ -45,6 +45,18 @@
 // graph back, and POST /snapshot checkpoints on demand. A -graph flag
 // whose name was already restored from a snapshot is skipped.
 //
+// The daemon is panic-isolated end to end: a query that panics — in
+// the DP engines, on a fork-join worker, anywhere under the handler —
+// is answered with a 500 carrying an opaque incident id while the full
+// stack is logged, and the process stays up. Repeated panics against
+// one (graph, kind) pair open a circuit breaker (-breaker-fails,
+// -breaker-cooldown) that answers 503 with a Retry-After header until
+// a half-open probe succeeds. Requests whose remaining -deadline
+// budget is below the endpoint's observed median latency are shed with
+// a 503 at admission instead of burning cores on doomed work. -fault
+// arms the deterministic fault-injection harness (testing only; see
+// internal/fault and scripts/chaos-smoke.sh).
+//
 // The parallel runtime is sized with -procs (0 tracks GOMAXPROCS) and
 // selected with -par-engine (the work-stealing pool by default; the
 // semaphore engine is kept for ablations). Request contexts are honored
@@ -67,6 +79,7 @@ import (
 	"time"
 
 	"planarsi/internal/core"
+	"planarsi/internal/fault"
 	"planarsi/internal/gio"
 	"planarsi/internal/par"
 	"planarsi/internal/serve"
@@ -88,6 +101,10 @@ func main() {
 	snapDir := flag.String("snapshot-dir", "", "snapshot directory: warm-boot from its *.snap files, persist on graceful shutdown, expose POST /snapshot (empty disables persistence)")
 	adaptive := flag.Bool("adaptive-window", false, "adapt the micro-batch window to the arrival rate (-window becomes the cap; idle traffic dispatches near-immediately)")
 	slowQuery := flag.Duration("slow-query", 0, "log requests at or above this handler latency, with band spans when traced (0 disables)")
+	breakerFails := flag.Int("breaker-fails", 5, "consecutive query panics before a (graph, kind) circuit breaker opens (0 disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit rejects with 503 before a half-open probe")
+	faultSpec := flag.String("fault", "", "deterministic fault injection spec, e.g. 'dp.panic=first:2,snapshot.write=every:3' (empty disables; testing only)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for probabilistic fault-injection rules")
 	var preload []string
 	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -107,6 +124,12 @@ func main() {
 		par.SetParallelism(*procs)
 	}
 	log.Printf("planarsid: parallel runtime: %d workers (%s engine)", par.Parallelism(), *engine)
+	if *faultSpec != "" {
+		if err := fault.Enable(*faultSpec, *faultSeed); err != nil {
+			log.Fatalf("planarsid: -fault: %v", err)
+		}
+		log.Printf("planarsid: FAULT INJECTION ACTIVE (testing only): %s", fault.Describe())
+	}
 	srv := serve.New(serve.Options{
 		Pipeline: core.Options{Seed: *seed, MaxRuns: *runs},
 		MaxBytes: *memMB << 20,
@@ -121,6 +144,10 @@ func main() {
 		RequestTimeout:   *deadline,
 		SnapshotDir:      *snapDir,
 		SlowQuery:        *slowQuery,
+		Breaker: serve.BreakerOptions{
+			Threshold: *breakerFails,
+			Cooldown:  *breakerCooldown,
+		},
 	})
 
 	if *snapDir != "" {

@@ -23,6 +23,14 @@
 // bipartite), so both the early-exit and the full-run-budget paths of
 // the pipeline are exercised. -register-grid registers the target grid
 // first; point -graph at an existing registered graph to skip it.
+//
+// With -chaos the generator expects to be pointed at a daemon running
+// under fault injection (planarsid -fault): 500s and 503s stop counting
+// as errors and are instead tallied per operation as incidents (500,
+// checking the incident id is present) and unavailable (503, checking
+// Retry-After is set) — the survival report for a chaos run, where the
+// interesting failures are transport errors and malformed responses,
+// not the injected faults themselves.
 package main
 
 import (
@@ -58,6 +66,7 @@ type config struct {
 	hitFrac     float64
 	seed        int64
 	out         string
+	chaos       bool
 }
 
 func main() {
@@ -73,6 +82,7 @@ func main() {
 	flag.Float64Var(&cfg.hitFrac, "hit-frac", 0.5, "fraction of queries using the hit pattern (C4) vs the miss pattern (C3)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload random seed")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty = stdout)")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: tally 500s (incidents) and 503s (unavailable) separately instead of as errors — for daemons running under -fault")
 	flag.Parse()
 
 	ops, err := parseMix(cfg.mix)
@@ -130,6 +140,10 @@ func main() {
 		log.Printf("planarsiload: %s: %d ok, %d errors, %.0f req/s, p50=%.2fms p95=%.2fms p99=%.2fms",
 			name, m.Overall.Count, m.Overall.Errors, m.ThroughputRPS,
 			m.Overall.P50Millis, m.Overall.P95Millis, m.Overall.P99Millis)
+		if cfg.chaos {
+			log.Printf("planarsiload: %s chaos: %d incidents (500+id), %d unavailable (503+Retry-After), %d bare 500s, %d bare 503s",
+				name, m.Overall.Incidents, m.Overall.Unavailable, m.Overall.BareFaults, m.Overall.BareBusy)
+		}
 	}
 }
 
@@ -245,6 +259,13 @@ type opStats struct {
 	hist   *obs.Histogram
 	errors atomic.Uint64
 	maxNs  atomic.Int64
+
+	// Chaos-mode tallies (zero unless -chaos): injected-fault outcomes
+	// that would otherwise drown the error counter.
+	incidents   atomic.Uint64 // 500s carrying an incident id
+	bareFaults  atomic.Uint64 // 500s WITHOUT an incident id (a real bug)
+	unavailable atomic.Uint64 // 503s with Retry-After
+	bareBusy    atomic.Uint64 // 503s WITHOUT Retry-After (a real bug)
 }
 
 func (l *loader) newRun() *modeRun {
@@ -262,6 +283,29 @@ func (l *loader) do(run *modeRun, op string, body []byte) {
 	resp, err := l.client.Post(l.cfg.addr+"/"+op, "application/json", bytes.NewReader(body))
 	d := time.Since(start)
 	ok := err == nil && resp.StatusCode == http.StatusOK
+	if l.cfg.chaos && err == nil && !ok {
+		switch resp.StatusCode {
+		case http.StatusInternalServerError:
+			var e struct {
+				Incident string `json:"incident"`
+			}
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			_ = json.Unmarshal(raw, &e)
+			if e.Incident != "" {
+				st.incidents.Add(1)
+				ok = true // expected under injected faults
+			} else {
+				st.bareFaults.Add(1)
+			}
+		case http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") != "" {
+				st.unavailable.Add(1)
+				ok = true // breaker open / shed / overloaded: by design
+			} else {
+				st.bareBusy.Add(1)
+			}
+		}
+	}
 	if resp != nil {
 		drain(resp)
 	}
@@ -341,9 +385,15 @@ func (l *loader) reportMode(run *modeRun, elapsed time.Duration) *ModeReport {
 	overall.Counts = make([]uint64, len(overall.Counts))
 	var overallErrs uint64
 	var overallMax int64
+	var sumChaos OpReport
 	for name, st := range run.perOp {
 		h := st.hist.Snapshot()
-		m.Ops[name] = opReport(h, st.errors.Load(), st.maxNs.Load())
+		r := opReport(h, st.errors.Load(), st.maxNs.Load())
+		r.Incidents = st.incidents.Load()
+		r.BareFaults = st.bareFaults.Load()
+		r.Unavailable = st.unavailable.Load()
+		r.BareBusy = st.bareBusy.Load()
+		m.Ops[name] = r
 		for i, c := range h.Counts {
 			overall.Counts[i] += c
 		}
@@ -351,8 +401,16 @@ func (l *loader) reportMode(run *modeRun, elapsed time.Duration) *ModeReport {
 		overall.Sum += h.Sum
 		overallErrs += st.errors.Load()
 		overallMax = max(overallMax, st.maxNs.Load())
+		sumChaos.Incidents += r.Incidents
+		sumChaos.BareFaults += r.BareFaults
+		sumChaos.Unavailable += r.Unavailable
+		sumChaos.BareBusy += r.BareBusy
 	}
 	m.Overall = opReport(overall, overallErrs, overallMax)
+	m.Overall.Incidents = sumChaos.Incidents
+	m.Overall.BareFaults = sumChaos.BareFaults
+	m.Overall.Unavailable = sumChaos.Unavailable
+	m.Overall.BareBusy = sumChaos.BareBusy
 	if elapsed > 0 {
 		m.ThroughputRPS = float64(overall.Count) / elapsed.Seconds()
 	}
@@ -419,4 +477,13 @@ type OpReport struct {
 	P95Millis  float64 `json:"p95Millis"`
 	P99Millis  float64 `json:"p99Millis"`
 	MaxMillis  float64 `json:"maxMillis"`
+
+	// Chaos-mode (-chaos) outcome tallies. Incidents/Unavailable are
+	// well-formed fault answers (500 + incident id, 503 + Retry-After);
+	// their Bare* counterparts are the malformed ones — nonzero Bare*
+	// under chaos means the resilience layer has a bug.
+	Incidents   uint64 `json:"incidents,omitempty"`
+	BareFaults  uint64 `json:"bareFaults,omitempty"`
+	Unavailable uint64 `json:"unavailable,omitempty"`
+	BareBusy    uint64 `json:"bareBusy,omitempty"`
 }

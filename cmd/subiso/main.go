@@ -67,6 +67,10 @@ func main() {
 		if hs[i], err = gio.ReadEdgeListFile(f); err != nil {
 			fatal("pattern: %v", err)
 		}
+		if hs[i].N() > planarsi.MaxPatternSize {
+			fatal("%s: pattern has %d vertices, over the engine limit of %d",
+				f, hs[i].N(), planarsi.MaxPatternSize)
+		}
 	}
 
 	opt := planarsi.Options{Seed: *seed, MaxRuns: *runs}

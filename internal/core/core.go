@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"planarsi/internal/fault"
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
@@ -266,6 +267,7 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, run int, opt Optio
 	inner.Cancel = local
 	bands := pc.Bands
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		injectBandFaults()
 		pb := &bands[i]
 		t0 := inner.Trace.Begin()
 		// The found.Load() check is the pre-pool band-granularity early
@@ -311,6 +313,20 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, run int, opt Optio
 		}
 	})
 	return found.Load()
+}
+
+// injectBandFaults is the chaos hook at the head of every per-band
+// loop body: the band decompositions of prepare and the band dynamic
+// programs of decide, enumerate, find and separating. It runs on a
+// pool worker mid-query, which is exactly where the fault plan wants
+// injected latency (band.latency) and panics (dp.panic) to originate:
+// a fired dp.panic must cross par's fork-join scopes to the query's
+// goroutine without wedging the shared pool — and, when it fires under
+// a memoized artifact build, without poisoning the Index's cache slot.
+// No plan installed means one atomic load per band.
+func injectBandFaults() {
+	fault.Sleep(fault.BandLatency)
+	fault.Check(fault.DPPanic)
 }
 
 // bandCancelEnabled gates the first-hit sibling cancellation. It exists

@@ -169,6 +169,7 @@ func enumeratePrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) 
 	bands := pc.Bands
 	results := make([][]Occurrence, len(bands))
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		injectBandFaults()
 		t0 := opt.Trace.Begin()
 		if opt.Cancel.Cancelled() || bands[i].Band == nil {
 			opt.Trace.Span("band", run, i, t0, "skipped")
@@ -242,6 +243,7 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) Occ
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		injectBandFaults()
 		pb := &bands[i]
 		b := pb.Band
 		t0 := inner.Trace.Begin()

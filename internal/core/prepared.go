@@ -116,6 +116,7 @@ func (pc *PreparedCover) MemBytes() int64 {
 func prepare(cov *cover.Cover, opt Options) *PreparedCover {
 	pc := &PreparedCover{Cover: cov, Bands: make([]PreparedBand, len(cov.Bands))}
 	par.ForGrain(0, len(cov.Bands), 1, func(i int) {
+		injectBandFaults()
 		if opt.Cancel.Cancelled() {
 			return
 		}

@@ -83,6 +83,7 @@ func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Oc
 	var mu sync.Mutex
 	var hit Occurrence
 	par.ForGrain(0, len(bands), 1, func(i int) {
+		injectBandFaults()
 		pb := &bands[i]
 		b := pb.Band
 		if bandCancel.Cancelled() || b == nil || b.G.N() < h.N() {

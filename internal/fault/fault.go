@@ -1,0 +1,334 @@
+// Package fault is a deterministic, seeded fault-injection registry.
+//
+// Production code declares named *sites* — places where a fault could
+// plausibly occur (a snapshot write, a band dynamic program, a batch
+// flush timer) — by calling one of the probe helpers (Err, Check,
+// Sleep, Fire). With no plan enabled every probe is a single atomic
+// pointer load that returns "no fault"; the daemon pays nothing for
+// carrying the hooks.
+//
+// A plan is enabled from a spec string (the `planarsid -fault` flag):
+//
+//	site=rule[;rule][,site=rule...]
+//
+// where each rule is one of
+//
+//	first:N   fire on the first N hits (after any `after` offset)
+//	every:N   fire on every Nth hit
+//	after:N   skip the first N hits before the other rules apply
+//	p:F       fire with probability F, derived deterministically from
+//	          (seed, site, hit) — same seed, same firing sequence
+//	dur:D     duration parameter for latency sites (e.g. 5ms)
+//
+// Rules within one site AND together. A bare `site` with no rules fires
+// on every hit. Hit counters are per-site and reset when a new plan is
+// enabled, so a scripted fault sequence is fully reproducible: the Nth
+// probe of a site fires or not regardless of scheduling.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point. Sites are registered in knownSites;
+// Enable rejects specs naming unknown sites so a typo in -fault fails
+// loudly at boot instead of silently never firing.
+type Site string
+
+const (
+	// QueryPanic panics one query at the index boundary (one hit per
+	// scanned pattern / direct query). The panic starts on whatever
+	// goroutine runs the query body — a pool worker under Scan.
+	QueryPanic Site = "query.panic"
+	// DPPanic panics inside a band dynamic program, on a pool worker,
+	// mid-solve (one hit per band attempted).
+	DPPanic Site = "dp.panic"
+	// BandLatency sleeps for the rule's dur before each band dynamic
+	// program (one hit per band attempted).
+	BandLatency Site = "band.latency"
+	// BatchTimerDrop drops one micro-batch flush: the group re-arms its
+	// timer, so the batch dispatches a window late instead of never.
+	BatchTimerDrop Site = "batch.timer.drop"
+	// SnapshotWrite fails a snapshot save with an injected I/O error.
+	SnapshotWrite Site = "snapshot.write"
+	// SnapshotRead fails a snapshot restore with an injected I/O error.
+	SnapshotRead Site = "snapshot.read"
+)
+
+var knownSites = map[Site]bool{
+	QueryPanic:     true,
+	DPPanic:        true,
+	BandLatency:    true,
+	BatchTimerDrop: true,
+	SnapshotWrite:  true,
+	SnapshotRead:   true,
+}
+
+// Sites returns the registered site names, sorted, for -fault usage text.
+func Sites() []string {
+	out := make([]string, 0, len(knownSites))
+	for s := range knownSites {
+		out = append(out, string(s))
+	}
+	sort.Strings(out)
+	return out
+}
+
+type rule struct {
+	after uint64
+	first uint64 // 0 = no first-N bound
+	every uint64 // 0/1 = every hit
+	p     float64
+	pSet  bool
+	dur   time.Duration
+}
+
+func (r rule) fires(seed uint64, site Site, hit uint64) bool {
+	if hit <= r.after {
+		return false
+	}
+	n := hit - r.after
+	if r.first > 0 && n > r.first {
+		return false
+	}
+	if r.every > 1 && n%r.every != 0 {
+		return false
+	}
+	if r.pSet && u01(seed, site, hit) >= r.p {
+		return false
+	}
+	return true
+}
+
+type siteState struct {
+	rule  rule
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+type plan struct {
+	seed  uint64
+	spec  string
+	sites map[Site]*siteState
+}
+
+var active atomic.Pointer[plan]
+
+// Enable parses spec and installs it as the active plan, replacing any
+// previous plan and resetting all hit counters. An empty spec disables
+// injection (same as Disable).
+func Enable(spec string, seed uint64) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disable()
+		return nil
+	}
+	p := &plan{seed: seed, spec: spec, sites: make(map[Site]*siteState)}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rules, _ := strings.Cut(entry, "=")
+		site := Site(strings.TrimSpace(name))
+		if !knownSites[site] {
+			return fmt.Errorf("fault: unknown site %q (known: %s)", site, strings.Join(Sites(), " "))
+		}
+		if _, dup := p.sites[site]; dup {
+			return fmt.Errorf("fault: site %q specified twice", site)
+		}
+		r, err := parseRules(rules)
+		if err != nil {
+			return fmt.Errorf("fault: site %q: %w", site, err)
+		}
+		p.sites[site] = &siteState{rule: r}
+	}
+	if len(p.sites) == 0 {
+		return fmt.Errorf("fault: empty spec %q", spec)
+	}
+	active.Store(p)
+	return nil
+}
+
+func parseRules(s string) (rule, error) {
+	var r rule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(part, ":")
+		switch key {
+		case "first", "every", "after":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 && key != "after" {
+				return r, fmt.Errorf("bad %s:%q (want positive integer)", key, val)
+			}
+			switch key {
+			case "first":
+				r.first = n
+			case "every":
+				r.every = n
+			case "after":
+				r.after = n
+			}
+		case "p":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return r, fmt.Errorf("bad p:%q (want 0..1)", val)
+			}
+			r.p, r.pSet = f, true
+		case "dur":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return r, fmt.Errorf("bad dur:%q (want duration)", val)
+			}
+			r.dur = d
+		default:
+			return r, fmt.Errorf("unknown rule %q", part)
+		}
+	}
+	return r, nil
+}
+
+// Disable removes the active plan; every probe becomes a no-op again.
+func Disable() { active.Store(nil) }
+
+// Active reports whether a plan is installed.
+func Active() bool { return active.Load() != nil }
+
+// Describe returns the active spec for boot-time logging, or "".
+func Describe() string {
+	if p := active.Load(); p != nil {
+		return p.spec
+	}
+	return ""
+}
+
+// Fire records a hit at site and reports whether the fault fires. This
+// is the raw probe; most call sites want Err, Check or Sleep instead.
+func Fire(site Site) bool {
+	fires, _ := fire(site)
+	return fires
+}
+
+func fire(site Site) (bool, *siteState) {
+	p := active.Load()
+	if p == nil {
+		return false, nil
+	}
+	st := p.sites[site]
+	if st == nil {
+		return false, nil
+	}
+	hit := st.hits.Add(1)
+	if !st.rule.fires(p.seed, site, hit) {
+		return false, st
+	}
+	st.fired.Add(1)
+	return true, st
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, for
+// errors.Is at recovery boundaries.
+var ErrInjected = fmt.Errorf("fault: injected")
+
+// InjectedError is the error returned by Err when a site fires.
+type InjectedError struct {
+	Site Site
+	Hit  uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected error at %s (hit %d)", e.Site, e.Hit)
+}
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Err returns an *InjectedError when site fires, nil otherwise.
+func Err(site Site) error {
+	fires, st := fire(site)
+	if !fires {
+		return nil
+	}
+	return &InjectedError{Site: site, Hit: st.hits.Load()}
+}
+
+// InjectedPanic is the value Check panics with when a site fires.
+type InjectedPanic struct {
+	Site Site
+	Hit  uint64
+}
+
+func (e *InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic at %s (hit %d)", e.Site, e.Hit)
+}
+
+// Check panics with an *InjectedPanic when site fires.
+func Check(site Site) {
+	if fires, st := fire(site); fires {
+		panic(&InjectedPanic{Site: site, Hit: st.hits.Load()})
+	}
+}
+
+// Sleep blocks for the site's dur rule when the site fires (default
+// 1ms when the spec gave no dur).
+func Sleep(site Site) {
+	fires, st := fire(site)
+	if !fires {
+		return
+	}
+	d := st.rule.dur
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// SiteStats is one row of Stats.
+type SiteStats struct {
+	Site  Site
+	Hits  uint64
+	Fired uint64
+}
+
+// Stats snapshots per-site hit/fired counters of the active plan,
+// sorted by site name. Nil when no plan is installed.
+func Stats() []SiteStats {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]SiteStats, 0, len(p.sites))
+	for s, st := range p.sites {
+		out = append(out, SiteStats{Site: s, Hits: st.hits.Load(), Fired: st.fired.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// u01 maps (seed, site, hit) to [0,1) via splitmix64 — deterministic
+// across runs and independent of goroutine scheduling.
+func u01(seed uint64, site Site, hit uint64) float64 {
+	x := seed ^ fnv64(string(site)) + hit*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("active with no plan")
+	}
+	if Fire(DPPanic) {
+		t.Fatal("fired with no plan")
+	}
+	if err := Err(SnapshotWrite); err != nil {
+		t.Fatalf("Err = %v with no plan", err)
+	}
+	Check(QueryPanic) // must not panic
+	Sleep(BandLatency)
+	if Stats() != nil {
+		t.Fatal("Stats non-nil with no plan")
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	defer Disable()
+	bad := []string{
+		"nope=first:1",          // unknown site
+		"dp.panic=first:0",      // zero count
+		"dp.panic=first:x",      // not a number
+		"dp.panic=p:1.5",        // probability out of range
+		"dp.panic=dur:banana",   // bad duration
+		"dp.panic=wat:1",        // unknown rule
+		"dp.panic=1,dp.panic=2", // duplicate site (both also bad rules)
+		",",                     // no sites at all
+	}
+	for _, spec := range bad {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+		}
+	}
+	if err := Enable("dp.panic=first:2;after:1, snapshot.write , band.latency=dur:5ms", 1); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	if !Active() || Describe() == "" {
+		t.Fatal("plan not active after Enable")
+	}
+	if err := Enable("", 1); err != nil {
+		t.Fatalf("Enable(empty): %v", err)
+	}
+	if Active() {
+		t.Fatal("empty spec should disable")
+	}
+}
+
+func TestFirstAfterEvery(t *testing.T) {
+	defer Disable()
+	if err := Enable("dp.panic=first:2;after:1", 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false, false}
+	for i, w := range want {
+		if got := Fire(DPPanic); got != w {
+			t.Fatalf("hit %d: fired=%v want %v", i+1, got, w)
+		}
+	}
+
+	if err := Enable("dp.panic=every:3", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		if got, w := Fire(DPPanic), i%3 == 0; got != w {
+			t.Fatalf("every:3 hit %d: fired=%v want %v", i, got, w)
+		}
+	}
+}
+
+func TestBareSiteAlwaysFires(t *testing.T) {
+	defer Disable()
+	if err := Enable("snapshot.write", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := Err(SnapshotWrite)
+		if err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: Err = %v, want injected", i+1, err)
+		}
+	}
+	// A site not in the plan never fires.
+	if Fire(DPPanic) {
+		t.Fatal("unlisted site fired")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	defer Disable()
+	seq := func(seed uint64) []bool {
+		if err := Enable("dp.panic=p:0.5", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire(DPPanic)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p:0.5 fired %d/%d — not probabilistic", fired, len(a))
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing sequence")
+	}
+}
+
+func TestCheckPanicsWithSiteValue(t *testing.T) {
+	defer Disable()
+	if err := Enable("query.panic=first:1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		ip, ok := v.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *InjectedPanic", v)
+		}
+		if ip.Site != QueryPanic || ip.Hit != 1 {
+			t.Fatalf("panic payload = %+v", ip)
+		}
+	}()
+	Check(QueryPanic)
+	t.Fatal("Check did not panic")
+}
+
+func TestSleepDuration(t *testing.T) {
+	defer Disable()
+	if err := Enable("band.latency=first:1;dur:20ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Sleep(BandLatency)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("slept %v, want ~20ms", d)
+	}
+	start = time.Now()
+	Sleep(BandLatency) // first:1 exhausted
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("slept %v after rule exhausted", d)
+	}
+}
+
+func TestStatsAndConcurrency(t *testing.T) {
+	defer Disable()
+	if err := Enable("dp.panic=every:2", 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Fire(DPPanic)
+			}
+		}()
+	}
+	wg.Wait()
+	st := Stats()
+	if len(st) != 1 || st[0].Site != DPPanic {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st[0].Hits != 800 || st[0].Fired != 400 {
+		t.Fatalf("hits=%d fired=%d, want 800/400", st[0].Hits, st[0].Fired)
+	}
+}

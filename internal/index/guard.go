@@ -1,0 +1,56 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"planarsi/internal/par"
+)
+
+// ErrQueryPanic is the sentinel wrapped by every QueryPanicError, so
+// callers classify panic-backed failures with errors.Is without
+// depending on the concrete type.
+var ErrQueryPanic = errors.New("index: query panicked")
+
+// QueryPanicError is a panic converted into an error at the per-query
+// boundary: the pipeline beneath one pattern's query panicked (on a
+// pool worker or inline), par's fork-join scopes carried it to the
+// query's goroutine, and Guard caught it there. Value and Stack
+// preserve what the crash would have printed; the serving layer logs
+// them under an incident ID and answers a structured 500 instead of
+// dying.
+type QueryPanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *QueryPanicError) Error() string {
+	return fmt.Sprintf("index: query panicked: %v", e.Value)
+}
+
+func (e *QueryPanicError) Unwrap() error { return ErrQueryPanic }
+
+// Guard runs one query body, converting a panic — its own, or one
+// carried from pool workers as a *par.PanicError — into a
+// *QueryPanicError. This is the per-query panic boundary: everything
+// inside f may share the process-wide pool, and a panic under one query
+// must cost exactly that query.
+func Guard(f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = panicError(v)
+		}
+	}()
+	return f()
+}
+
+// panicError converts a recovered value into a *QueryPanicError,
+// unwrapping par's carrier so Value and Stack describe the original
+// panic site rather than the re-panic at the join point.
+func panicError(v any) *QueryPanicError {
+	if pe, ok := v.(*par.PanicError); ok {
+		return &QueryPanicError{Value: pe.Value, Stack: pe.Stack}
+	}
+	return &QueryPanicError{Value: v, Stack: debug.Stack()}
+}

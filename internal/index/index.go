@@ -34,12 +34,14 @@ package index
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"planarsi/internal/core"
 	"planarsi/internal/estc"
+	"planarsi/internal/fault"
 	"planarsi/internal/graph"
 	"planarsi/internal/obs"
 	"planarsi/internal/par"
@@ -154,6 +156,30 @@ func (ix *Index) Embedded() (*graph.Graph, error) {
 	return ix.embedded, ix.embedErr
 }
 
+// depoisonOnPanic is deferred inside every memo entry's once.Do build:
+// sync.Once marks itself done even when its function panics, so without
+// this a panicking build would poison the cache slot forever (every
+// later query would read a half-built entry). done is only set by a
+// build that ran to completion; when it is still false on the way out,
+// the build is panicking and drop removes the entry from its map so the
+// next query retries from scratch.
+func depoisonOnPanic(done *atomic.Bool, drop func()) {
+	if !done.Load() {
+		drop()
+	}
+}
+
+// checkBuilt guards concurrent waiters of a panicked build: their
+// once.Do returns normally (the Once is done) but the entry never
+// completed. Panicking here routes them through the same per-query
+// boundary as the builder; the entry itself has already been dropped
+// for retry by depoisonOnPanic.
+func checkBuilt(done *atomic.Bool, what string) {
+	if !done.Load() {
+		panic(fmt.Errorf("index: %s build panicked concurrently; retry", what))
+	}
+}
+
 // clustering returns the memoized ESTC clustering for (beta, run).
 func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 	key := clusterKey{math.Float64bits(beta), run}
@@ -165,10 +191,18 @@ func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 	}
 	ix.mu.Unlock()
 	e.once.Do(func() {
+		defer depoisonOnPanic(&e.done, func() {
+			ix.mu.Lock()
+			if ix.clusters[key] == e {
+				delete(ix.clusters, key)
+			}
+			ix.mu.Unlock()
+		})
 		e.cl = core.ClusterRun(ix.g, beta, run, ix.opt)
 		e.bytes = e.cl.MemBytes()
 		e.done.Store(true)
 	})
+	checkBuilt(&e.done, "clustering")
 	return e.cl
 }
 
@@ -194,12 +228,20 @@ func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
 	}
 	ix.mu.Unlock()
 	e.once.Do(func() {
+		defer depoisonOnPanic(&e.done, func() {
+			ix.mu.Lock()
+			if ix.plain[key] == e {
+				delete(ix.plain, key)
+			}
+			ix.mu.Unlock()
+		})
 		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
 		e.pc = core.PrepareFromClustering(ix.g, cl, k, d, ix.opt)
 		e.bytes = e.pc.MemBytes()
 		e.bands = len(e.pc.Bands)
 		e.done.Store(true)
 	})
+	checkBuilt(&e.done, "prepared cover")
 	return e.pc
 }
 
@@ -216,12 +258,20 @@ func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover
 	}
 	ix.mu.Unlock()
 	e.once.Do(func() {
+		defer depoisonOnPanic(&e.done, func() {
+			ix.mu.Lock()
+			if ix.sep[key] == e {
+				delete(ix.sep, key)
+			}
+			ix.mu.Unlock()
+		})
 		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
 		e.pc = core.PrepareSeparatingFromClustering(ix.g, cl, s, k, d, ix.opt)
 		e.bytes = e.pc.MemBytes()
 		e.bands = len(e.pc.Bands)
 		e.done.Store(true)
 	})
+	checkBuilt(&e.done, "separating cover")
 	return e.pc
 }
 
@@ -277,6 +327,7 @@ func (ix *Index) Decide(h *graph.Graph) (bool, error) {
 // context returns exactly what an unwatched Decide would.
 func (ix *Index) DecideCtx(ctx context.Context, h *graph.Graph) (bool, error) {
 	ix.queries.Add(1)
+	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	found, err := core.DecideFrom(ix, ix.g, h, opt)
@@ -292,6 +343,7 @@ func (ix *Index) FindOccurrence(h *graph.Graph) (core.Occurrence, error) {
 // FindOccurrenceCtx is FindOccurrence honoring ctx (see DecideCtx).
 func (ix *Index) FindOccurrenceCtx(ctx context.Context, h *graph.Graph) (core.Occurrence, error) {
 	ix.queries.Add(1)
+	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	occ, err := core.FindOneFrom(ix, ix.g, h, opt)
@@ -307,6 +359,7 @@ func (ix *Index) ListOccurrences(h *graph.Graph) ([]core.Occurrence, error) {
 // ListOccurrencesCtx is ListOccurrences honoring ctx (see DecideCtx).
 func (ix *Index) ListOccurrencesCtx(ctx context.Context, h *graph.Graph) ([]core.Occurrence, error) {
 	ix.queries.Add(1)
+	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	occs, err := core.ListFrom(ix, ix.g, h, opt)
@@ -322,6 +375,7 @@ func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
 // CountOccurrencesCtx is CountOccurrences honoring ctx (see DecideCtx).
 func (ix *Index) CountOccurrencesCtx(ctx context.Context, h *graph.Graph) (int, error) {
 	ix.queries.Add(1)
+	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	c, err := core.CountFrom(ix, ix.g, h, opt)
@@ -338,6 +392,7 @@ func (ix *Index) DecideSeparating(h *graph.Graph, s []bool) (core.Occurrence, er
 // DecideSeparatingCtx is DecideSeparating honoring ctx (see DecideCtx).
 func (ix *Index) DecideSeparatingCtx(ctx context.Context, h *graph.Graph, s []bool) (core.Occurrence, error) {
 	ix.queries.Add(1)
+	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	occ, err := core.DecideSeparatingFrom(ix, ix.g, h, s, opt)
@@ -362,14 +417,24 @@ type ScanResult struct {
 // that pattern alone. A cancelled or expired ctx stops the in-flight
 // dynamic programs of every pattern at their next checkpoint; affected
 // patterns carry the context's error in their ScanResult.Err.
+//
+// Each pattern runs under its own panic Guard: a panic beneath one
+// member (carried off pool workers by par's scopes) becomes that
+// member's ScanResult.Err — a *QueryPanicError — and its batch-mates
+// still get their answers.
 func (ix *Index) Scan(ctx context.Context, patterns []*graph.Graph) []ScanResult {
 	out := make([]ScanResult, len(patterns))
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	par.ForGrain(0, len(patterns), 1, func(i int) {
 		ix.queries.Add(1)
-		found, err := core.DecideFrom(ix, ix.g, patterns[i], opt)
-		out[i] = ScanResult{Found: found, Err: ctxErr(ctx, err)}
+		err := Guard(func() error {
+			fault.Check(fault.QueryPanic)
+			found, err := core.DecideFrom(ix, ix.g, patterns[i], opt)
+			out[i].Found = found
+			return err
+		})
+		out[i].Err = ctxErr(ctx, err)
 	})
 	return out
 }
@@ -377,15 +442,20 @@ func (ix *Index) Scan(ctx context.Context, patterns []*graph.Graph) []ScanResult
 // ScanCount counts every pattern of the batch, running the queries
 // concurrently over the shared preprocessing. Each result's Count (and
 // Found = Count > 0) equals what CountOccurrences would return for that
-// pattern alone. Cancellation behaves as in Scan.
+// pattern alone. Cancellation and panic isolation behave as in Scan.
 func (ix *Index) ScanCount(ctx context.Context, patterns []*graph.Graph) []ScanResult {
 	out := make([]ScanResult, len(patterns))
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 	par.ForGrain(0, len(patterns), 1, func(i int) {
 		ix.queries.Add(1)
-		c, err := core.CountFrom(ix, ix.g, patterns[i], opt)
-		out[i] = ScanResult{Found: c > 0, Count: c, Err: ctxErr(ctx, err)}
+		err := Guard(func() error {
+			fault.Check(fault.QueryPanic)
+			c, err := core.CountFrom(ix, ix.g, patterns[i], opt)
+			out[i].Found, out[i].Count = c > 0, c
+			return err
+		})
+		out[i].Err = ctxErr(ctx, err)
 	})
 	return out
 }

@@ -1,0 +1,50 @@
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError carries a panic recovered on one fork-join participant to
+// the scope's join point. Every task body forked through a Ctx runs
+// under a recover; a captured panic is stored on the task's Future and
+// re-panicked — wrapped exactly once as *PanicError — on the goroutine
+// that joins it. The result is the panic-isolation contract the serving
+// stack builds on:
+//
+//   - the shared pool and its deques are never wedged: workers survive
+//     panicking tasks, and every forked sibling of a panicking task is
+//     still joined before the panic propagates (structured cleanup);
+//   - the panic surfaces exactly once, on the scope-owning goroutine,
+//     where a per-query boundary (internal/index, internal/serve) can
+//     convert it into an error instead of a process crash;
+//   - Value and Stack preserve what a crash would have printed: the
+//     original panic value and the stack of the panicking goroutine,
+//     captured at the recovery point.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task panicked: %v", e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error to
+// errors.Is/errors.As chains at the recovery boundary.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// asPanicError wraps a recovered value, passing an already-wrapped
+// panic through unchanged so a panic crossing nested scopes keeps the
+// stack captured where it first fired.
+func asPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

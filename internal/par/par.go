@@ -227,26 +227,38 @@ func Do(fs ...func()) {
 	c.Do(tasks...)
 }
 
-// semDo is Do on the semaphore engine.
+// semDo is Do on the semaphore engine. Panics on forked goroutines are
+// captured and re-panicked on the caller after every fork has finished;
+// an inline panic propagates directly, but the deferred Wait still
+// drains the forks first, so the group stays structured either way.
 func semDo(e *engine, fs []func()) {
 	var wg sync.WaitGroup
-	for _, f := range fs[1:] {
-		select {
-		case e.sem <- struct{}{}:
-			wg.Add(1)
-			go func(f func()) {
-				defer func() {
-					<-e.sem
-					wg.Done()
-				}()
+	var first atomic.Pointer[PanicError]
+	func() {
+		defer wg.Wait()
+		for _, f := range fs[1:] {
+			select {
+			case e.sem <- struct{}{}:
+				wg.Add(1)
+				go func(f func()) {
+					defer func() {
+						if v := recover(); v != nil {
+							first.CompareAndSwap(nil, asPanicError(v))
+						}
+						<-e.sem
+						wg.Done()
+					}()
+					f()
+				}(f)
+			default:
 				f()
-			}(f)
-		default:
-			f()
+			}
 		}
+		fs[0]()
+	}()
+	if pe := first.Load(); pe != nil {
+		panic(pe)
 	}
-	fs[0]()
-	wg.Wait()
 }
 
 // For runs f(i) for every i in [lo, hi), possibly in parallel, with an
@@ -282,8 +294,12 @@ func ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
 
 // semBlocks is the semaphore engine's block runner: recursive halving,
 // forking the right half into a worker slot when one is free and
-// degrading to inline sequential execution otherwise.
+// degrading to inline sequential execution otherwise. Panics on forked
+// goroutines are captured and re-panicked once at the operation root
+// after all forks have drained; inline panics propagate directly, with
+// the deferred Waits keeping every in-flight fork joined first.
 func semBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
+	var first atomic.Pointer[PanicError]
 	var run func(lo, hi int)
 	run = func(lo, hi int) {
 		for hi-lo > grain {
@@ -294,13 +310,16 @@ func semBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
 				wg.Add(1)
 				go func(l, h int) {
 					defer func() {
+						if v := recover(); v != nil {
+							first.CompareAndSwap(nil, asPanicError(v))
+						}
 						<-e.sem
 						wg.Done()
 					}()
 					run(l, h)
 				}(mid, hi)
+				defer wg.Wait()
 				run(lo, mid)
-				wg.Wait()
 				return
 			default:
 				run(lo, mid)
@@ -312,6 +331,9 @@ func semBlocks(e *engine, lo, hi, grain int, body func(lo, hi int)) {
 		}
 	}
 	run(lo, hi)
+	if pe := first.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // alignedBlocks partitions [lo, hi) into ⌈n/grain⌉ consecutive blocks of

@@ -121,13 +121,25 @@ type Future struct {
 	// joiner running it inline) so it executes exactly once.
 	claimed atomic.Bool
 	f       Task
+	// panicked holds a panic recovered from the task body, written
+	// before done flips (so the done.Load in Join orders the read) and
+	// re-panicked at the join point on the joining goroutine.
+	panicked *PanicError
 }
 
 // run executes the future's function exactly once; later callers no-op.
+// A panic in the task body is recovered here — never on the raw worker
+// goroutine — so workers and thieves survive it; the capture is
+// re-panicked by Join.
 func (fu *Future) run(ctx *Ctx) {
 	if fu.claimed.CompareAndSwap(false, true) {
+		defer fu.done.Store(true)
+		defer func() {
+			if v := recover(); v != nil {
+				fu.panicked = asPanicError(v)
+			}
+		}()
 		fu.f(ctx)
-		fu.done.Store(true)
 	}
 }
 
@@ -359,7 +371,19 @@ func (c *Ctx) Fork(f Task) *Future {
 }
 
 // Join waits for fu, helping with other tasks while it is outstanding.
+// If the future's task panicked, Join re-panics the captured
+// *PanicError on the calling goroutine once the task has completed.
 func (c *Ctx) Join(fu *Future) {
+	c.joinNoPanic(fu)
+	if fu.panicked != nil {
+		panic(fu.panicked)
+	}
+}
+
+// joinNoPanic waits for fu without re-panicking a captured panic; Do
+// uses it to finish joining every sibling before propagating the first
+// panic.
+func (c *Ctx) joinNoPanic(fu *Future) {
 	spins := 0
 	for !fu.done.Load() {
 		if t := c.findTask(); t != nil {
@@ -386,7 +410,9 @@ func (c *Ctx) Join(fu *Future) {
 }
 
 // Do runs the functions as a fork-join group: all but the first are forked,
-// the first runs inline, then all forks are joined.
+// the first runs inline, then all forks are joined. If any function
+// panics, every sibling is still joined before the first panic (in
+// fork order: inline first, then forks) re-panics on the caller.
 func (c *Ctx) Do(fs ...Task) {
 	if len(fs) == 0 {
 		return
@@ -395,14 +421,30 @@ func (c *Ctx) Do(fs ...Task) {
 	for i := len(fs) - 1; i >= 1; i-- {
 		futures[i-1] = c.Fork(fs[i])
 	}
-	fs[0](c)
+	var first *PanicError
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				first = asPanicError(v)
+			}
+		}()
+		fs[0](c)
+	}()
 	for _, fu := range futures {
-		c.Join(fu)
+		c.joinNoPanic(fu)
+		if fu.panicked != nil && first == nil {
+			first = fu.panicked
+		}
+	}
+	if first != nil {
+		panic(first)
 	}
 }
 
 // ForBlocks splits [lo, hi) into blocks of at most grain indices and runs
-// body on each block via recursive halving on the pool.
+// body on each block via recursive halving on the pool. Forked halves
+// are joined by defer, so a panicking block still waits for its forked
+// siblings before one *PanicError propagates to the caller.
 func (c *Ctx) ForBlocks(lo, hi, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1

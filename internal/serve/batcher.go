@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"planarsi/internal/fault"
 	"planarsi/internal/graph"
 	"planarsi/internal/index"
 	"planarsi/internal/obs"
@@ -119,7 +120,8 @@ type Scheduler struct {
 	batches   atomic.Uint64
 	requests  atomic.Uint64
 	rejected  atomic.Uint64
-	maxBatch  atomic.Int64 // largest batch dispatched so far
+	retries   atomic.Uint64 // members re-run as singletons after a panic
+	maxBatch  atomic.Int64  // largest batch dispatched so far
 	inFlight  atomic.Int64
 	waitNanos atomic.Int64 // total time requests spent waiting for their batch
 
@@ -339,6 +341,18 @@ func (g *group) takeLocked() []request {
 
 // flush is the window-timer callback: dispatch whatever has accumulated.
 func (g *group) flush() {
+	if fault.Fire(fault.BatchTimerDrop) {
+		// Injected timer loss: this firing does no work, simulating a
+		// window timer that died. The re-arm keeps the pending requests
+		// from hanging until their contexts expire — the recovery
+		// behavior the chaos harness asserts on.
+		g.mu.Lock()
+		if len(g.pending) > 0 {
+			g.timer = time.AfterFunc(g.s.effectiveWindow()+time.Millisecond, g.flush)
+		}
+		g.mu.Unlock()
+		return
+	}
 	g.mu.Lock()
 	batch := g.takeLocked()
 	g.mu.Unlock()
@@ -348,12 +362,55 @@ func (g *group) flush() {
 }
 
 // dispatch executes a batch, delivers each request's answer, and
-// releases the batch's admission slots.
+// releases the batch's admission slots. It must not panic whatever the
+// engine does: its callers include the window-timer goroutine, and a
+// panic there kills the process with no handler-level recover in the
+// way. Index.Scan already isolates per-member panics; the Guard here
+// backstops faults outside the members' own bodies (batch bookkeeping,
+// the Maintain hook), turning them into per-member errors.
 func (s *Scheduler) dispatch(e *Entry, kind BatchKind, batch []request) {
-	for i, res := range s.run(e, kind, batch) {
-		batch[i].done <- res
+	var res []index.ScanResult
+	err := index.Guard(func() error {
+		res = s.run(e, kind, batch)
+		s.retrySingletons(e, kind, batch, res)
+		return nil
+	})
+	for i := range batch {
+		if err != nil {
+			batch[i].done <- index.ScanResult{Err: err}
+		} else {
+			batch[i].done <- res[i]
+		}
 	}
 	s.queued.Add(-int64(len(batch)))
+}
+
+// retrySingletons re-runs batch members whose answer was lost to a
+// panic, each as a batch of one. A panic is often specific to the
+// batch's execution (a fault mid-build of a shared artifact that a
+// sibling's panic de-poisoned, a transient injected fault), so one
+// isolated retry converts "unlucky batch-mate" into a correct answer;
+// a deterministic crasher simply panics again and keeps its error.
+// Members whose client is already gone are not retried. Singleton
+// batches are excluded: with nobody else in the batch the first run
+// was already isolated, and retrying would double-charge deterministic
+// faults (which the chaos harness counts on for reproducibility).
+func (s *Scheduler) retrySingletons(e *Entry, kind BatchKind, batch []request, res []index.ScanResult) {
+	if len(batch) < 2 {
+		return
+	}
+	for i := range res {
+		if res[i].Err == nil || !errors.Is(res[i].Err, index.ErrQueryPanic) {
+			continue
+		}
+		if batch[i].ctx != nil && batch[i].ctx.Err() != nil {
+			continue
+		}
+		s.retries.Add(1)
+		if r2 := s.run(e, kind, batch[i:i+1]); len(r2) == 1 {
+			res[i] = r2[0]
+		}
+	}
 }
 
 // batchContext derives the context one batched Scan runs under: done
@@ -471,6 +528,9 @@ type SchedulerStats struct {
 	Batches  uint64 `json:"batches"`
 	Requests uint64 `json:"requests"`
 	Rejected uint64 `json:"rejected"`
+	// Retries counts batch members re-run as singletons after their
+	// first answer was lost to a panic.
+	Retries  uint64 `json:"retries"`
 	MaxBatch int64  `json:"maxBatch"`
 	InFlight int64  `json:"inFlight"`
 	Queued   int64  `json:"queued"`
@@ -489,6 +549,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Batches:  s.batches.Load(),
 		Requests: s.requests.Load(),
 		Rejected: s.rejected.Load(),
+		Retries:  s.retries.Load(),
 		MaxBatch: s.maxBatch.Load(),
 		InFlight: s.inFlight.Load(),
 		Queued:   s.queued.Load(),

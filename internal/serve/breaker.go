@@ -1,0 +1,214 @@
+package serve
+
+// Per-(graph, kind) circuit breakers. A query panic is evidence that
+// something about this particular graph's cached artifacts or this
+// query shape trips a bug deterministically; hammering the same
+// (graph, kind) pair with more traffic repeats the crash-and-recover
+// cycle at full request rate for no benefit. The breaker converts a
+// burst of incident-class failures into fast 503s with a Retry-After,
+// then feels its way back with single half-open probes.
+//
+// Only incident-class failures (query panics, see recordOutcome) count
+// toward the trip threshold: client cancellations, deadline expiries,
+// overload rejections and pattern-validation errors say nothing about
+// the graph being broken and must never open the circuit.
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerOptions configures the per-(graph, kind) circuit breakers.
+type BreakerOptions struct {
+	// Threshold is how many consecutive incident-class failures open
+	// the breaker. 0 disables breakers entirely.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// single half-open probe. Default 5s.
+	Cooldown time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	return o
+}
+
+// Breaker states. The numeric values are exported on /metrics as the
+// planarsi_breaker_state gauge, so they are part of the wire contract.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+func breakerStateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerOutcome classifies one finished query for Record.
+type breakerOutcome uint8
+
+const (
+	// outcomeSuccess: the query completed; from half-open this closes
+	// the circuit.
+	outcomeSuccess breakerOutcome = iota
+	// outcomeIncident: the query panicked (server-side fault); counts
+	// toward the trip threshold and re-opens a half-open circuit.
+	outcomeIncident
+	// outcomeNeutral: the query failed for reasons that say nothing
+	// about the graph (client gone, deadline, validation, overload).
+	// Neutral outcomes release a half-open probe slot without moving
+	// the state.
+	outcomeNeutral
+)
+
+// breaker is one (graph, kind) circuit. All fields are guarded by mu;
+// the critical sections are a handful of comparisons, so one mutex per
+// circuit never contends measurably against query latency.
+type breaker struct {
+	opt BreakerOptions
+
+	mu      sync.Mutex
+	state   int
+	fails   int       // consecutive incident-class failures while closed
+	until   time.Time // open until (cooldown end)
+	probing bool      // half-open: the single probe slot is taken
+
+	opens    uint64 // times the circuit opened (incl. half-open re-opens)
+	rejected uint64 // requests turned away while open / probe pending
+}
+
+// Allow decides whether a request may proceed. ok=false means the
+// circuit is rejecting; retryAfter is the client hint for when to come
+// back. An open circuit whose cooldown has elapsed transitions to
+// half-open and admits exactly one probe; further requests are rejected
+// until the probe reports through Record.
+func (b *breaker) Allow(now time.Time) (retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, true
+	case breakerOpen:
+		if now.Before(b.until) {
+			b.rejected++
+			return b.until.Sub(now), false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return 0, true
+	default: // half-open
+		if b.probing {
+			b.rejected++
+			return b.opt.Cooldown, false
+		}
+		b.probing = true
+		return 0, true
+	}
+}
+
+// Record feeds one finished query's outcome back into the circuit.
+func (b *breaker) Record(oc breakerOutcome, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch oc {
+	case outcomeNeutral:
+		// Frees the probe slot so the next arrival becomes the probe;
+		// a neutral result proves nothing either way.
+		b.probing = false
+	case outcomeSuccess:
+		b.fails = 0
+		b.probing = false
+		b.state = breakerClosed
+	case outcomeIncident:
+		b.probing = false
+		switch b.state {
+		case breakerHalfOpen:
+			// The probe crashed too: back to open for another cooldown.
+			b.trip(now)
+		case breakerClosed:
+			b.fails++
+			if b.fails >= b.opt.Threshold {
+				b.trip(now)
+			}
+		}
+		// Incidents reported while already open (a request admitted
+		// before the trip, finishing after) change nothing: the
+		// cooldown clock is already running.
+	}
+}
+
+// trip opens the circuit; the caller holds b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.until = now.Add(b.opt.Cooldown)
+	b.fails = 0
+	b.opens++
+}
+
+// snapshot returns the circuit's current state for stats/metrics.
+func (b *breaker) snapshot() (state, fails int, opens, rejected uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.opens, b.rejected
+}
+
+// breakerKey identifies one circuit: requests share a breaker exactly
+// when they share a host graph and a query kind. Keying on the name
+// (not the entry pointer) keeps a graph's incident history across
+// eviction-and-re-register cycles within the retention window of the
+// map (cleared on explicit removal).
+type breakerKey struct {
+	graph string
+	kind  string
+}
+
+// breaker returns the circuit for (graph, kind), creating it on first
+// use. Nil when breakers are disabled.
+func (s *Server) breaker(graph, kind string) *breaker {
+	if s.opt.Breaker.Threshold <= 0 {
+		return nil
+	}
+	key := breakerKey{graph, kind}
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	b := s.breakers[key]
+	if b == nil {
+		b = &breaker{opt: s.opt.Breaker}
+		s.breakers[key] = b
+	}
+	return b
+}
+
+// dropBreakers forgets every circuit of a removed graph, so a future
+// graph registered under the same name starts with a clean slate.
+func (s *Server) dropBreakers(graph string) {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	for key := range s.breakers {
+		if key.graph == graph {
+			delete(s.breakers, key)
+		}
+	}
+}
+
+// BreakerInfo is one circuit's snapshot in /stats.
+type BreakerInfo struct {
+	Graph string `json:"graph"`
+	Kind  string `json:"kind"`
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// Fails is the consecutive incident count while closed.
+	Fails    int    `json:"consecutiveFails"`
+	Opens    uint64 `json:"opens"`
+	Rejected uint64 `json:"rejected"`
+}

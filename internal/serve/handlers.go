@@ -11,6 +11,8 @@ import (
 	"planarsi/internal/core"
 	"planarsi/internal/gio"
 	"planarsi/internal/graph"
+	"planarsi/internal/index"
+	"planarsi/internal/match"
 	"planarsi/internal/obs"
 )
 
@@ -157,6 +159,9 @@ type RegisterResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Incident is set on 500s caused by a server-side panic: an opaque
+	// id clients can quote so an operator can find the logged stack.
+	Incident string `json:"incident,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -173,8 +178,11 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 // queryStatus maps a query-path error to its HTTP status.
 func queryStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrShed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, index.ErrQueryPanic):
+		// A server-side fault, not a property of the request.
+		return http.StatusInternalServerError
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; the in-flight work was cancelled.
 		return StatusClientClosedRequest
@@ -211,6 +219,14 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request, needPattern
 			httpError(w, http.StatusBadRequest, "bad pattern: %v", err)
 			return nil, nil, nil, nil, false
 		}
+		// The DP engine's bitset state is sized for match.MaxK pattern
+		// vertices; reject anything larger at the boundary with a 400
+		// instead of letting it anywhere near the query path.
+		if h.N() > match.MaxK {
+			httpError(w, http.StatusBadRequest,
+				"pattern has %d vertices, over the engine limit of %d", h.N(), match.MaxK)
+			return nil, nil, nil, nil, false
+		}
 	}
 	e := s.reg.Acquire(req.Graph)
 	if e == nil {
@@ -224,18 +240,28 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request, needPattern
 // handleBatched serves /decide and /count: the query joins the entry's
 // current micro-batch and the batch runs as one Index.Scan / ScanCount.
 func (s *Server) handleBatched(kind BatchKind) http.HandlerFunc {
+	kindName := "decide"
+	if kind == KindCount {
+		kindName = "count"
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, e, h, release, ok := s.decodeQuery(w, r, true)
 		if !ok {
 			return
 		}
 		defer release()
+		br, err := s.admitQuery(r, req.Graph, kindName)
+		if err != nil {
+			s.writeQueryError(w, req.Graph, err)
+			return
+		}
 		res, err := s.sched.Submit(r.Context(), e, kind, h)
 		if err == nil {
 			err = res.Err
 		}
+		recordOutcome(br, err)
 		if err != nil {
-			httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
+			s.writeQueryError(w, req.Graph, err)
 			return
 		}
 		out := QueryResponse{Graph: req.Graph, Found: res.Found, Trace: traceJSON(r)}
@@ -252,15 +278,27 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	br, err := s.admitQuery(r, req.Graph, "find")
+	if err != nil {
+		s.writeQueryError(w, req.Graph, err)
+		return
+	}
 	var occ core.Occurrence
-	var err error
 	if derr := s.sched.Direct(r.Context(), func() {
-		occ, err = e.Index().FindOccurrenceCtx(r.Context(), h)
+		// Guard converts an engine panic (carried to this goroutine by
+		// the fork-join pool) into a structured 500, keeping the
+		// daemon up.
+		err = index.Guard(func() error {
+			var ferr error
+			occ, ferr = e.Index().FindOccurrenceCtx(r.Context(), h)
+			return ferr
+		})
 	}); derr != nil {
 		err = derr
 	}
+	recordOutcome(br, err)
 	if err != nil {
-		httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
+		s.writeQueryError(w, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
@@ -285,15 +323,24 @@ func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
 		}
 		mask[v] = true
 	}
+	br, err := s.admitQuery(r, req.Graph, "separating")
+	if err != nil {
+		s.writeQueryError(w, req.Graph, err)
+		return
+	}
 	var occ core.Occurrence
-	var err error
 	if derr := s.sched.Direct(r.Context(), func() {
-		occ, err = e.Index().DecideSeparatingCtx(r.Context(), h, mask)
+		err = index.Guard(func() error {
+			var ferr error
+			occ, ferr = e.Index().DecideSeparatingCtx(r.Context(), h, mask)
+			return ferr
+		})
 	}); derr != nil {
 		err = derr
 	}
+	recordOutcome(br, err)
 	if err != nil {
-		httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
+		s.writeQueryError(w, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
@@ -305,17 +352,24 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	br, err := s.admitQuery(r, req.Graph, "connectivity")
+	if err != nil {
+		s.writeQueryError(w, req.Graph, err)
+		return
+	}
 	var res ConnectivityResponse
-	var err error
 	if derr := s.sched.Direct(r.Context(), func() {
-		cr, cerr := e.Connectivity()
-		res = ConnectivityResponse{Graph: req.Graph, Connectivity: cr.Connectivity, Cut: cr.Cut}
-		err = cerr
+		err = index.Guard(func() error {
+			cr, cerr := e.Connectivity()
+			res = ConnectivityResponse{Graph: req.Graph, Connectivity: cr.Connectivity, Cut: cr.Cut}
+			return cerr
+		})
 	}); derr != nil {
 		err = derr
 	}
+	recordOutcome(br, err)
 	if err != nil {
-		httpError(w, queryStatus(err), "%s: %v", req.Graph, err)
+		s.writeQueryError(w, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

@@ -92,11 +92,21 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	// wroteHeader records whether anything reached the wire, so the
+	// panic backstop in instrument knows whether it can still write a
+	// structured 500 or must abandon the (already started) response.
+	wroteHeader bool
 }
 
 func (w *statusRecorder) WriteHeader(status int) {
 	w.status = status
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	w.wroteHeader = true // implicit 200 on first write
+	return w.ResponseWriter.Write(p)
 }
 
 // Unwrap exposes the wrapped writer to http.NewResponseController,
@@ -116,6 +126,7 @@ func (w *statusRecorder) Flush() {
 // finds this method and lands on the underlying writer's ReadFrom when
 // it has one, instead of degrading to the generic buffer loop.
 func (w *statusRecorder) ReadFrom(r io.Reader) (int64, error) {
+	w.wroteHeader = true
 	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
 		return rf.ReadFrom(r)
 	}
@@ -150,7 +161,24 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		r, trace := traced(r)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(rec, r)
+		func() {
+			// Last-resort panic boundary: the query paths have their own
+			// guards, so anything arriving here is a handler bug — still
+			// answer it as a structured 500 (when the response has not
+			// started) instead of letting net/http tear the connection
+			// down mid-metrics.
+			defer func() {
+				if v := recover(); v != nil {
+					id := s.incidentFromPanic(name, v)
+					rec.status = http.StatusInternalServerError
+					if !rec.wroteHeader {
+						writeJSON(rec, http.StatusInternalServerError,
+							errorResponse{Error: "internal error", Incident: id})
+					}
+				}
+			}()
+			h(rec, r)
+		}()
 		d := time.Since(start)
 		m.observe(d, rec.status)
 		if s.opt.SlowQuery > 0 && d >= s.opt.SlowQuery {

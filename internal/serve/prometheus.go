@@ -69,6 +69,7 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 	writeCounter(b, "planarsi_sched_batches_total", "Dispatched micro-batches.", float64(sst.Batches))
 	writeCounter(b, "planarsi_sched_requests_total", "Requests executed through the scheduler.", float64(sst.Requests))
 	writeCounter(b, "planarsi_sched_rejected_total", "Requests rejected at admission (queue full).", float64(sst.Rejected))
+	writeCounter(b, "planarsi_sched_retries_total", "Batch members re-run as singletons after a panic-isolated failure.", float64(sst.Retries))
 	writeGauge(b, "planarsi_sched_inflight", "Batches executing right now.", float64(sst.InFlight))
 	writeGauge(b, "planarsi_sched_queued", "Requests waiting anywhere in the scheduler.", float64(sst.Queued))
 	writeGauge(b, "planarsi_sched_window_seconds",
@@ -82,7 +83,44 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 	writeCounter(b, "planarsi_registry_cache_resets_total", "Stage-1 evictions: Index caches shed under memory pressure.", float64(rst.CacheResets))
 	writeCounter(b, "planarsi_registry_evictions_total", "Stage-2 evictions: unpinned graphs dropped under memory pressure.", float64(rst.Evictions))
 
+	res := s.resilienceStats()
+	writeCounter(b, "planarsi_incidents_total", "Query panics answered with a 500 + incident id.", float64(res.Incidents))
+	writeCounter(b, "planarsi_shed_total", "Requests shed at admission: remaining deadline below the endpoint's typical latency.", float64(res.Shed))
+	// Breakers come back from resilienceStats sorted by (graph, kind),
+	// preserving the deterministic-exposition contract.
+	writeHeader(b, "planarsi_breaker_state",
+		"Circuit breaker state per (graph, kind): 0 closed, 1 open, 2 half-open.", "gauge")
+	for _, bi := range res.Breakers {
+		labels := `graph="` + bi.Graph + `",kind="` + bi.Kind + `"`
+		writeSample(b, "planarsi_breaker_state", labels, float64(breakerStateValue(bi.State)))
+	}
+	writeHeader(b, "planarsi_breaker_opens_total",
+		"Times each circuit opened (including half-open re-opens).", "counter")
+	for _, bi := range res.Breakers {
+		labels := `graph="` + bi.Graph + `",kind="` + bi.Kind + `"`
+		writeSample(b, "planarsi_breaker_opens_total", labels, float64(bi.Opens))
+	}
+	writeHeader(b, "planarsi_breaker_rejected_total",
+		"Requests rejected by an open circuit.", "counter")
+	for _, bi := range res.Breakers {
+		labels := `graph="` + bi.Graph + `",kind="` + bi.Kind + `"`
+		writeSample(b, "planarsi_breaker_rejected_total", labels, float64(bi.Rejected))
+	}
+
 	writeGauge(b, "planarsi_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+}
+
+// breakerStateValue maps BreakerInfo's state name back to the numeric
+// gauge value (the state constants in breaker.go).
+func breakerStateValue(state string) int {
+	switch state {
+	case "open":
+		return breakerOpen
+	case "half-open":
+		return breakerHalfOpen
+	default:
+		return breakerClosed
+	}
 }
 
 func writeHeader(b *bytes.Buffer, name, help, typ string) {

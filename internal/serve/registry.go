@@ -105,6 +105,16 @@ func (e *Entry) Index() *index.Index { return e.ix }
 // options are fixed per entry, so the seeded answer never changes).
 func (e *Entry) Connectivity() (conn.Result, error) {
 	e.connOnce.Do(func() {
+		// sync.Once marks itself done even when the body panics, which
+		// would leave a zero (0-connectivity, nil-error) answer cached
+		// forever. The computation is deterministic, so a panic would
+		// repeat anyway: convert it to a cached error instead of
+		// poisoning the entry.
+		defer func() {
+			if v := recover(); v != nil {
+				e.connErr = fmt.Errorf("serve: connectivity computation panicked: %v", v)
+			}
+		}()
 		g, err := e.ix.Embedded()
 		if err != nil {
 			e.connErr = err

@@ -2,6 +2,10 @@ package serve
 
 import (
 	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"planarsi/internal/core"
@@ -37,6 +41,12 @@ type Options struct {
 	SlowQuery time.Duration
 	// SlowLogf receives slow-query log lines; nil means log.Printf.
 	SlowLogf func(format string, args ...any)
+	// Breaker configures the per-(graph, kind) circuit breakers; a zero
+	// Threshold disables them.
+	Breaker BreakerOptions
+	// IncidentLogf receives incident log lines (query panics with their
+	// stacks); nil means log.Printf.
+	IncidentLogf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +56,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
 	}
+	o.Breaker = o.Breaker.withDefaults()
 	return o
 }
 
@@ -60,6 +71,14 @@ type Server struct {
 	metrics map[string]*endpointMetrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	// Resilience state: the per-(graph, kind) circuit breakers plus the
+	// incident and shed counters (see breaker.go and resilience.go).
+	brMu        sync.Mutex
+	breakers    map[breakerKey]*breaker
+	incidentSeq atomic.Uint64
+	incidents   atomic.Uint64
+	shed        atomic.Uint64
 }
 
 // New builds a Server (no listening socket; pair Handler with an
@@ -67,9 +86,10 @@ type Server struct {
 func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:     opt,
-		metrics: make(map[string]*endpointMetrics),
-		start:   time.Now(),
+		opt:      opt,
+		metrics:  make(map[string]*endpointMetrics),
+		breakers: make(map[breakerKey]*breaker),
+		start:    time.Now(),
 	}
 	// Queries grow Index caches; enforcing the budget once per executed
 	// batch (not once per request) keeps Maintain's registry sweep off
@@ -79,7 +99,10 @@ func New(opt Options) *Server {
 	s.reg = NewRegistry(RegistryOptions{
 		Pipeline: opt.Pipeline,
 		MaxBytes: opt.MaxBytes,
-		OnRemove: s.sched.Forget,
+		OnRemove: func(e *Entry) {
+			s.sched.Forget(e)
+			s.dropBreakers(e.Name())
+		},
 	})
 	s.routes()
 	return s
@@ -122,15 +145,64 @@ type ServerStats struct {
 	Registry      RegistryStats            `json:"registry"`
 	Scheduler     SchedulerStats           `json:"scheduler"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Resilience    ResilienceStats          `json:"resilience"`
 }
 
-// Stats returns a snapshot across all three parts.
+// ResilienceStats is the /stats resilience section: incident and shed
+// totals plus one entry per live circuit breaker.
+type ResilienceStats struct {
+	// Incidents counts query panics answered with a 500 + incident id.
+	Incidents uint64 `json:"incidents"`
+	// Shed counts requests rejected because their remaining deadline
+	// was below the endpoint's typical latency.
+	Shed     uint64        `json:"shed"`
+	Breakers []BreakerInfo `json:"breakers,omitempty"`
+}
+
+// resilienceStats snapshots the breaker map and resilience counters.
+func (s *Server) resilienceStats() ResilienceStats {
+	st := ResilienceStats{
+		Incidents: s.incidents.Load(),
+		Shed:      s.shed.Load(),
+	}
+	s.brMu.Lock()
+	keys := make([]breakerKey, 0, len(s.breakers))
+	for key := range s.breakers {
+		keys = append(keys, key)
+	}
+	brs := make([]*breaker, len(keys))
+	for i, key := range keys {
+		brs[i] = s.breakers[key]
+	}
+	s.brMu.Unlock()
+	for i, key := range keys {
+		state, fails, opens, rejected := brs[i].snapshot()
+		st.Breakers = append(st.Breakers, BreakerInfo{
+			Graph:    key.graph,
+			Kind:     key.kind,
+			State:    breakerStateName(state),
+			Fails:    fails,
+			Opens:    opens,
+			Rejected: rejected,
+		})
+	}
+	slices.SortFunc(st.Breakers, func(a, b BreakerInfo) int {
+		if c := strings.Compare(a.Graph, b.Graph); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Kind, b.Kind)
+	})
+	return st
+}
+
+// Stats returns a snapshot across all parts.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Registry:      s.reg.Stats(),
 		Scheduler:     s.sched.Stats(),
 		Endpoints:     make(map[string]EndpointStats, len(s.metrics)),
+		Resilience:    s.resilienceStats(),
 	}
 	for name, m := range s.metrics {
 		st.Endpoints[name] = m.snapshot()

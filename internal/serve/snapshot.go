@@ -17,6 +17,8 @@ import (
 	"path/filepath"
 	"slices"
 	"sort"
+
+	"planarsi/internal/fault"
 )
 
 // ErrNoSnapshotDir reports a snapshot operation on a server configured
@@ -115,6 +117,9 @@ func (s *Server) removeSnapshotFile(name string) {
 }
 
 func (s *Server) saveOne(dir, name string) (SnapshotInfo, error) {
+	if err := fault.Err(fault.SnapshotWrite); err != nil {
+		return SnapshotInfo{}, err
+	}
 	path, err := snapshotFile(dir, name)
 	if err != nil {
 		return SnapshotInfo{}, err
@@ -128,13 +133,37 @@ func (s *Server) saveOne(dir, name string) (SnapshotInfo, error) {
 		tmp.Close()
 		return SnapshotInfo{}, err
 	}
+	// The rename-into-place pattern only survives crashes if the data is
+	// on disk before the rename and the directory entry after it: fsync
+	// the temp file, rename, then fsync the directory. Without the first
+	// a power loss can leave a complete-looking file of zeros under the
+	// final name; without the second the rename itself may not be
+	// durable.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, err
+	}
 	if err := tmp.Close(); err != nil {
 		return SnapshotInfo{}, err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return SnapshotInfo{}, err
 	}
+	if err := syncDir(dir); err != nil {
+		return SnapshotInfo{}, err
+	}
 	return s.snapshotInfo(name, path)
+}
+
+// syncDir fsyncs a directory, making a just-renamed file's directory
+// entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (s *Server) snapshotInfo(name, path string) (SnapshotInfo, error) {
@@ -190,6 +219,9 @@ func (s *Server) RestoreSnapshots() ([]SnapshotInfo, error) {
 }
 
 func (s *Server) restoreOne(path string) (*Entry, error) {
+	if err := fault.Err(fault.SnapshotRead); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

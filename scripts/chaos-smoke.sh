@@ -1,0 +1,221 @@
+#!/usr/bin/env bash
+# chaos-smoke: boots planarsid under the deterministic fault-injection
+# harness (internal/fault, armed with -fault) and proves the resilience
+# layer end to end (used by `make chaos-smoke` and CI; RACE=1 builds the
+# daemon with -race):
+#
+#   - a query panic at the index boundary is answered 500 with an opaque
+#     incident id while the full stack lands in the log, daemon stays up
+#   - two consecutive panics open the (grid, decide) circuit breaker:
+#     503 + Retry-After until the cooldown elapses
+#   - the half-open probe panics *inside* the cover build (dp.panic), so
+#     the poisoned memo must de-poison and the breaker re-opens
+#   - the next probe succeeds with answers byte-identical to a fault-free
+#     baseline run, and the breaker closes
+#   - /metrics exposes the exact incident/open/reject counts
+#   - an oversized pattern is refused 400 at the boundary
+#   - a failed snapshot write is a 500 with no partial file; the retry
+#     lands the checkpoint
+#   - a failed snapshot read at boot falls back to a cold preload and
+#     still serves byte-identical answers (with band latency injected)
+#   - planarsiload -chaos survives a probabilistic panic storm with no
+#     bare 500s/503s (every failure is either incident-tagged or
+#     Retry-After-tagged)
+#
+# Everything is deterministic: -window 0 makes every query a singleton
+# batch, so the Nth query consumes exactly the Nth query.panic hit, and
+# the fault plan's per-site hit counters make the firing sequence
+# independent of scheduling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build ${RACE:+-race} -o "$tmp/planarsid" ./cmd/planarsid
+go build ${RACE:+-race} -o "$tmp/planarsiload" ./cmd/planarsiload
+
+cat > "$tmp/grid.edges" <<'EOF'
+n 9
+0 1
+1 2
+3 4
+4 5
+6 7
+7 8
+0 3
+3 6
+1 4
+4 7
+2 5
+5 8
+EOF
+
+fail() { echo "chaos-smoke: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
+check() { # check <name> <expected-fragment> <actual>
+    case "$3" in
+        *"$2"*) echo "chaos-smoke: $1 ok" ;;
+        *) fail "$1" "$3" ;;
+    esac
+}
+
+# req <outfile> <path> [json-body]: POST (or GET /metrics-style paths via
+# -d omission still POSTs; fine for this script), body to outfile, echo
+# the HTTP status. Never uses -f: non-2xx statuses are the point here.
+req() {
+    curl -s -o "$1" -D "$tmp/hdr" -w '%{http_code}' \
+        -X POST "http://$addr$2" ${3:+-d "$3"}
+}
+
+# boot <snapdir> [extra flags...]: start the daemon on an ephemeral port
+# (flags repeat last-wins, so legs may override the defaults below),
+# parse the resolved address from the log, poll /healthz until ready.
+boot() {
+    snapdir=$1; shift
+    : > "$tmp/log"
+    "$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" \
+        -window 0 -breaker-fails 2 -breaker-cooldown 1s \
+        -snapshot-dir "$snapdir" "$@" > "$tmp/log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+        if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "chaos-smoke: daemon did not become ready"; cat "$tmp/log"; exit 1
+}
+
+stop() {
+    kill -TERM "$pid"
+    rc=0; wait "$pid" || rc=$?
+    pid=""
+    if [ "$rc" -ne 0 ]; then
+        echo "chaos-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
+    fi
+}
+
+c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
+c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
+conn='{"graph":"grid"}'
+
+# ---- Leg 0: fault-free baseline. The chaos legs must reproduce these
+# bytes exactly after recovering.
+boot "$tmp/snaps-baseline"
+st=$(req "$tmp/base.decide" /decide "$c4");  [ "$st" = 200 ] || fail "baseline decide" "$st"
+st=$(req "$tmp/base.count" /count "$c4");    [ "$st" = 200 ] || fail "baseline count" "$st"
+st=$(req "$tmp/base.c3" /decide "$c3");      [ "$st" = 200 ] || fail "baseline c3" "$st"
+st=$(req "$tmp/base.conn" /connectivity "$conn"); [ "$st" = 200 ] || fail "baseline connectivity" "$st"
+check "baseline answers" '"count":32' "$(cat "$tmp/base.count")"
+stop
+echo "chaos-smoke: baseline captured"
+
+# same_bytes <name> <path> <json> <baseline-file>: the recovered answer
+# must be byte-identical to the fault-free baseline.
+same_bytes() {
+    st=$(req "$tmp/now" "$2" "$3"); [ "$st" = 200 ] || fail "$1 status" "$st"
+    cmp -s "$tmp/now" "$4" || fail "$1 byte-identity" "$(cat "$tmp/now") != $(cat "$4")"
+    echo "chaos-smoke: $1 byte-identical ok"
+}
+
+# ---- Leg 1: panic storm -> breaker lifecycle -> byte-identical recovery.
+# query.panic fires at the index boundary (before the cover build), so
+# queries 1 and 2 panic without touching the band DPs; the half-open
+# probe (query 4) is then the FIRST band DP attempt ever, and dp.panic
+# first:1 lands inside the cover memo's once.Do — the de-poisoning path.
+boot "$tmp/snaps" -fault 'query.panic=first:2,dp.panic=first:1,snapshot.write=first:1'
+check "fault banner" 'FAULT INJECTION ACTIVE' "$(cat "$tmp/log")"
+
+st=$(req "$tmp/q1" /decide "$c4"); [ "$st" = 500 ] || fail "q1 status (want 500)" "$st"
+check "q1 incident id" '"incident":"inc-' "$(cat "$tmp/q1")"
+st=$(req "$tmp/q2" /decide "$c4"); [ "$st" = 500 ] || fail "q2 status (want 500)" "$st"
+check "q2 incident id" '"incident":"inc-' "$(cat "$tmp/q2")"
+check "incident stack logged" 'query panic' "$(cat "$tmp/log")"
+
+st=$(req "$tmp/q3" /decide "$c4"); [ "$st" = 503 ] || fail "q3 status (want 503, breaker open)" "$st"
+grep -qi '^retry-after:' "$tmp/hdr" || fail "q3 Retry-After header" "$(cat "$tmp/hdr")"
+echo "chaos-smoke: breaker open (503 + Retry-After) ok"
+
+sleep 1.2
+st=$(req "$tmp/q4" /decide "$c4"); [ "$st" = 500 ] || fail "q4 status (want 500, dp.panic in prepare)" "$st"
+check "q4 incident id" '"incident":"inc-' "$(cat "$tmp/q4")"
+st=$(req "$tmp/q5" /decide "$c4"); [ "$st" = 503 ] || fail "q5 status (want 503, breaker re-open)" "$st"
+grep -qi '^retry-after:' "$tmp/hdr" || fail "q5 Retry-After header" "$(cat "$tmp/hdr")"
+echo "chaos-smoke: half-open probe panicked in cover build, breaker re-opened ok"
+
+sleep 1.2
+same_bytes "recovered decide" /decide "$c4" "$tmp/base.decide"
+same_bytes "recovered count" /count "$c4" "$tmp/base.count"
+same_bytes "recovered miss" /decide "$c3" "$tmp/base.c3"
+same_bytes "recovered connectivity" /connectivity "$conn" "$tmp/base.conn"
+
+# The exact incident/breaker accounting on /metrics: 3 incidents (q1,
+# q2, q4), the decide breaker opened twice, rejected twice (q3, q5),
+# and is closed (0) again after the successful probe.
+metrics=$(curl -sf "http://$addr/metrics")
+mval() { echo "$metrics" | awk -v k="$1" '$1==k{print $2}'; }
+[ "$(mval planarsi_incidents_total)" = 3 ] || fail "metrics incidents" "$(mval planarsi_incidents_total)"
+[ "$(mval 'planarsi_breaker_opens_total{graph="grid",kind="decide"}')" = 2 ] || \
+    fail "metrics breaker opens" "$(mval 'planarsi_breaker_opens_total{graph="grid",kind="decide"}')"
+[ "$(mval 'planarsi_breaker_rejected_total{graph="grid",kind="decide"}')" = 2 ] || \
+    fail "metrics breaker rejected" "$(mval 'planarsi_breaker_rejected_total{graph="grid",kind="decide"}')"
+[ "$(mval 'planarsi_breaker_state{graph="grid",kind="decide"}')" = 0 ] || \
+    fail "metrics breaker closed" "$(mval 'planarsi_breaker_state{graph="grid",kind="decide"}')"
+check "metrics shed family" 'planarsi_shed_total' "$metrics"
+echo "chaos-smoke: metrics accounting ok (3 incidents, 2 opens, 2 rejects, closed)"
+
+# Oversized pattern: refused 400 at the boundary, never reaching the
+# engines (k > 16 would overflow the DP's bitmask state space).
+edges=""
+for i in $(seq 0 15); do edges="$edges[$i,$((i+1))],"; done
+big='{"graph":"grid","pattern":{"n":17,"edges":['${edges%,}']}}'
+st=$(req "$tmp/big" /decide "$big"); [ "$st" = 400 ] || fail "oversized status (want 400)" "$st"
+check "oversized message" 'over the engine limit' "$(cat "$tmp/big")"
+
+# Snapshot fault: the first checkpoint fails cleanly (500, injected
+# error surfaced, no partial file), the retry lands it.
+st=$(req "$tmp/snap1" /snapshot); [ "$st" = 500 ] || fail "snapshot#1 status (want 500)" "$st"
+check "snapshot#1 error" 'fault: injected' "$(cat "$tmp/snap1")"
+[ ! -f "$tmp/snaps/grid.snap" ] || fail "snapshot#1 partial file" "$tmp/snaps/grid.snap exists"
+st=$(req "$tmp/snap2" /snapshot); [ "$st" = 200 ] || fail "snapshot#2 status (want 200)" "$st"
+check "snapshot#2 saved" '"name":"grid"' "$(cat "$tmp/snap2")"
+[ -f "$tmp/snaps/grid.snap" ] || fail "snapshot#2 file" "missing $tmp/snaps/grid.snap"
+echo "chaos-smoke: snapshot write fault ok (500 + no partial file, retry landed)"
+
+stop
+echo "chaos-smoke: graceful shutdown after panic storm ok"
+
+# ---- Leg 2: warm restart under fault. The snapshot restore fails
+# (injected read error), the daemon falls back to the cold edge-list
+# preload, and — with latency injected into the first band DPs — still
+# serves byte-identical answers.
+boot "$tmp/snaps" -fault 'snapshot.read=first:1,band.latency=first:6;dur:2ms'
+check "restore fallback" 'continuing cold' "$(cat "$tmp/log")"
+check "cold preload" 'loaded graph grid' "$(cat "$tmp/log")"
+same_bytes "cold-fallback count" /count "$c4" "$tmp/base.count"
+same_bytes "cold-fallback connectivity" /connectivity "$conn" "$tmp/base.conn"
+stop
+echo "chaos-smoke: warm-restart fault fallback ok"
+
+# ---- Leg 3: probabilistic panic storm under load. Micro-batching is
+# back on (retry-as-singleton path in play); every failed request must
+# be either a tagged incident (500 + id) or tagged unavailable (503 +
+# Retry-After) — a bare 500/503 under chaos means a resilience bug.
+boot "$tmp/snaps-load" -window 2ms -breaker-fails 3 -breaker-cooldown 250ms \
+    -fault 'query.panic=p:0.25' -fault-seed 42
+"$tmp/planarsiload" -addr "http://$addr" -register-grid 8x8 -graph load \
+    -mode closed -concurrency 4 -duration 2s -chaos -out "$tmp/chaos-report.json"
+if grep -Eq '"errors": [1-9]' "$tmp/chaos-report.json"; then
+    echo "chaos-smoke: chaos load saw bare failures"; cat "$tmp/chaos-report.json"; exit 1
+fi
+if grep -Eq '"bareFaults"|"bareBusy"' "$tmp/chaos-report.json"; then
+    echo "chaos-smoke: chaos load saw untagged 500s/503s"; cat "$tmp/chaos-report.json"; exit 1
+fi
+grep -Eq '"incidents"|"unavailable"' "$tmp/chaos-report.json" || \
+    fail "chaos load fired no faults" "$(cat "$tmp/chaos-report.json")"
+stop
+echo "chaos-smoke: probabilistic load survival ok"
+echo "chaos-smoke: PASS"
