@@ -26,9 +26,21 @@
 //
 // Query endpoints accept ?trace=1, which adds the query's band-level
 // span timeline ("trace") to the response — which runs and bands ran,
-// how long each took, and where cancellation or fallback struck. With
-// -slow-query, requests at or above the threshold are logged, including
-// their slowest bands when traced.
+// how long each took, each band's DP cost counters (nodes, states,
+// joins, emissions, bytes), and where cancellation or fallback struck.
+// With -slow-query, requests at or above the threshold are logged,
+// including their slowest bands and cost totals when traced.
+//
+// Every response carries an X-Request-Id header; a request that arrives
+// with a W3C traceparent header joins that trace (the response echoes
+// traceparent with the request id as parent-id), and the id is stamped
+// on slow-query and incident log lines. -trace-log appends one JSON
+// line per request to a file (full span timeline and cost for traced
+// requests) that planarsiload -trace-summary aggregates offline.
+// -debug-addr serves net/http/pprof on a separate listener, and
+// /metrics exposes memo-cache traffic per artifact class, work-stealing
+// pool internals, and Go runtime health alongside the request
+// histograms.
 //
 // Graphs preloaded with -graph are pinned: the memory budget may shed
 // their cached artifacts but never unregisters them. Decide/count
@@ -70,8 +82,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // debug handlers, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -105,6 +119,9 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit rejects with 503 before a half-open probe")
 	faultSpec := flag.String("fault", "", "deterministic fault injection spec, e.g. 'dp.panic=first:2,snapshot.write=every:3' (empty disables; testing only)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for probabilistic fault-injection rules")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof debug handlers (empty disables; keep it loopback-only)")
+	traceLog := flag.String("trace-log", "", "append one JSON line per request to this file (spans and cost for ?trace=1 requests); read it back with planarsiload -trace-summary")
+	traceSpanLimit := flag.Int("trace-span-limit", 0, "max spans kept per traced request (0 = default 512); excess spans are counted as dropped")
 	var preload []string
 	flag.Func("graph", "preload and pin a host graph as name=edgelist.file (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -130,7 +147,16 @@ func main() {
 		}
 		log.Printf("planarsid: FAULT INJECTION ACTIVE (testing only): %s", fault.Describe())
 	}
-	srv := serve.New(serve.Options{
+	var traceLogFile *os.File
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("planarsid: -trace-log: %v", err)
+		}
+		traceLogFile = f
+		log.Printf("planarsid: writing request traces to %s", *traceLog)
+	}
+	srvOpt := serve.Options{
 		Pipeline: core.Options{Seed: *seed, MaxRuns: *runs},
 		MaxBytes: *memMB << 20,
 		Scheduler: serve.SchedulerOptions{
@@ -148,7 +174,15 @@ func main() {
 			Threshold: *breakerFails,
 			Cooldown:  *breakerCooldown,
 		},
-	})
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		TraceSpanLimit: *traceSpanLimit,
+	}
+	if traceLogFile != nil {
+		// Assigned only when non-nil: a typed-nil *os.File inside the
+		// io.Writer interface would defeat the TraceLog == nil check.
+		srvOpt.TraceLog = traceLogFile
+	}
+	srv := serve.New(srvOpt)
 
 	if *snapDir != "" {
 		infos, err := srv.RestoreSnapshots()
@@ -189,6 +223,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("planarsid: %v", err)
 	}
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serving that mux on a
+		// separate listener keeps profiling endpoints off the query port.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("planarsid: -debug-addr: %v", err)
+		}
+		log.Printf("planarsid: debug/pprof listening on %s", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				log.Printf("planarsid: debug server: %v", err)
+			}
+		}()
+	}
 	// The resolved address line doubles as the readiness signal for
 	// scripts (see make serve-smoke).
 	log.Printf("planarsid: listening on %s", ln.Addr())
@@ -220,6 +268,13 @@ func main() {
 		for _, in := range infos {
 			log.Printf("planarsid: persisted graph %s (clusterings=%d covers=%d, %d bytes) to %s",
 				in.Name, in.Clusterings, in.Covers, in.FileBytes, in.File)
+		}
+	}
+	if traceLogFile != nil {
+		// Shutdown has drained in-flight requests, so no writer races the
+		// close.
+		if err := traceLogFile.Close(); err != nil {
+			log.Printf("planarsid: -trace-log close: %v", err)
 		}
 	}
 	st := srv.Stats()

@@ -7,6 +7,11 @@
 //	planarsiload -addr http://127.0.0.1:8080 -register-grid 24x24 \
 //	    -mode both -rate 200 -concurrency 8 -duration 5s -out BENCH_6.json
 //
+// With -trace-summary FILE it instead reads a planarsid -trace-log
+// JSONL file offline — per-endpoint request volume, latency percentiles
+// and DP cost totals, plus the slowest recorded spans — and exits
+// without generating any load.
+//
 // Two arrival models, run separately so their numbers are comparable:
 //
 //   - open loop (-mode open): requests arrive by a Poisson process at
@@ -83,7 +88,15 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload random seed")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty = stdout)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: tally 500s (incidents) and 503s (unavailable) separately instead of as errors — for daemons running under -fault")
+	traceSummary := flag.String("trace-summary", "", "aggregate a planarsid -trace-log JSONL file (per-endpoint latency and cost, slowest spans) and exit without generating load")
 	flag.Parse()
+
+	if *traceSummary != "" {
+		if err := runTraceSummary(os.Stdout, *traceSummary); err != nil {
+			log.Fatalf("planarsiload: -trace-summary: %v", err)
+		}
+		return
+	}
 
 	ops, err := parseMix(cfg.mix)
 	if err != nil {

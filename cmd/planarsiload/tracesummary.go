@@ -1,0 +1,159 @@
+package main
+
+// Offline consumption of planarsid's -trace-log JSONL sink: planarsiload
+// -trace-summary FILE aggregates the request records into a per-endpoint
+// table (volume, latency percentiles, DP cost totals) plus the slowest
+// recorded spans, and exits without generating load. The record shape
+// mirrors serve's traceLogRecord; unknown fields are ignored, so the two
+// sides can evolve independently as long as the names below stay stable.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"planarsi/internal/obs"
+)
+
+// traceRecord is one -trace-log line (the subset this tool reads).
+type traceRecord struct {
+	RequestID string     `json:"requestId"`
+	TraceID   string     `json:"traceId"`
+	Endpoint  string     `json:"endpoint"`
+	Status    int        `json:"status"`
+	DurMicros float64    `json:"durMicros"`
+	Cost      *obs.Cost  `json:"cost"`
+	Spans     []obs.Span `json:"spans"`
+	Dropped   int        `json:"dropped"`
+}
+
+// endpointAgg accumulates one endpoint's rows.
+type endpointAgg struct {
+	count   int
+	errors  int
+	traced  int
+	durs    []float64 // micros
+	cost    obs.Cost
+	dropped int
+}
+
+// slowSpan is one candidate for the slowest-spans table.
+type slowSpan struct {
+	requestID string
+	endpoint  string
+	span      obs.Span
+}
+
+// runTraceSummary reads the JSONL file and prints the aggregate to w.
+// Malformed lines are counted and skipped (a live daemon may still be
+// appending; the final line can be torn).
+func runTraceSummary(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	agg := map[string]*endpointAgg{}
+	var slow []slowSpan
+	var total, malformed int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			malformed++
+			continue
+		}
+		total++
+		a := agg[rec.Endpoint]
+		if a == nil {
+			a = &endpointAgg{}
+			agg[rec.Endpoint] = a
+		}
+		a.count++
+		if rec.Status >= 400 {
+			a.errors++
+		}
+		a.durs = append(a.durs, rec.DurMicros)
+		a.dropped += rec.Dropped
+		if rec.Cost != nil {
+			a.traced++
+			a.cost.Accumulate(*rec.Cost)
+		} else if len(rec.Spans) > 0 {
+			a.traced++
+		}
+		for _, sp := range rec.Spans {
+			slow = append(slow, slowSpan{requestID: rec.RequestID, endpoint: rec.Endpoint, span: sp})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "trace summary: %s (%d records", path, total)
+	if malformed > 0 {
+		fmt.Fprintf(w, ", %d malformed lines skipped", malformed)
+	}
+	fmt.Fprintf(w, ")\n\n")
+
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-14s %8s %6s %6s %10s %10s %10s\n",
+		"endpoint", "count", "errors", "traced", "p50(ms)", "p95(ms)", "max(ms)")
+	for _, name := range names {
+		a := agg[name]
+		sort.Float64s(a.durs)
+		fmt.Fprintf(w, "%-14s %8d %6d %6d %10.2f %10.2f %10.2f\n",
+			name, a.count, a.errors, a.traced,
+			quantileMicros(a.durs, 0.50)/1e3,
+			quantileMicros(a.durs, 0.95)/1e3,
+			a.durs[len(a.durs)-1]/1e3)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		a := agg[name]
+		if a.cost.IsZero() && a.dropped == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s cost: nodes=%d states=%d joins=%d emissions=%d bytes=%d",
+			name, a.cost.Nodes, a.cost.States, a.cost.Joins, a.cost.Emissions, a.cost.Bytes)
+		if a.dropped > 0 {
+			fmt.Fprintf(w, " (spans dropped: %d — timelines truncated)", a.dropped)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(slow) > 0 {
+		sort.Slice(slow, func(i, j int) bool { return slow[i].span.DurMicros > slow[j].span.DurMicros })
+		k := min(len(slow), 10)
+		fmt.Fprintf(w, "\nslowest spans:\n")
+		for _, s := range slow[:k] {
+			fmt.Fprintf(w, "  %8.0fµs %-8s run=%d band=%d note=%q req=%s endpoint=%s\n",
+				s.span.DurMicros, s.span.Name, s.span.Run, s.span.Band, s.span.Note,
+				s.requestID, s.endpoint)
+		}
+	}
+	return nil
+}
+
+// quantileMicros reads quantile q from an already-sorted sample by
+// nearest-rank (exact over the raw client-side samples, unlike the
+// server's interpolated histogram quantiles).
+func quantileMicros(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"planarsi/internal/fault"
 	"planarsi/internal/graph"
@@ -79,14 +80,20 @@ type Options struct {
 	// events at the engines' checkpoints. Like Cancel, it is a per-call
 	// attachment that never influences answers.
 	Trace *obs.Recorder
+	// Cost, when non-nil, accumulates the call's DP cost counters
+	// (nodes, states, joins, emissions, bytes) across every band
+	// solved. Band spans on a traced call carry the same per-band
+	// snapshots, so the span costs sum to this counter exactly.
+	// Another per-call attachment that never influences answers.
+	Cost *obs.CostCounter
 }
 
 // SameConfig reports whether two option sets produce identical answers
 // and identical cached artifacts: it compares the value fields that feed
 // the pipeline's randomness and shape (Seed, Engine, MaxRuns, Heuristic,
 // Beta) and ignores the per-call attachments (Tracker, Stats, Cancel,
-// Trace), which never influence results. Snapshot restore uses it to
-// refuse loading artifacts built under a different configuration.
+// Trace, Cost), which never influence results. Snapshot restore uses it
+// to refuse loading artifacts built under a different configuration.
 func (o Options) SameConfig(p Options) bool {
 	return o.Seed == p.Seed && o.Engine == p.Engine && o.MaxRuns == p.MaxRuns &&
 		o.Heuristic == p.Heuristic && o.Beta == p.Beta
@@ -103,6 +110,9 @@ type Stats struct {
 	FallbackBands int64
 	// MaxBandWidth is the widest band decomposition observed.
 	MaxBandWidth int
+	// Cost totals the engines' per-band cost counters across every band
+	// solved (fallback and skipped bands contribute zero).
+	Cost obs.Cost
 }
 
 // Occurrence maps pattern vertices to target vertices.
@@ -163,6 +173,27 @@ func (o Options) noteWidth(w int) {
 		o.Stats.MaxBandWidth = w
 	}
 	statsMu.Unlock()
+}
+
+// addBandCost folds one solved band's engine cost counters into the
+// per-call accumulator and the Stats totals. Each band is snapshotted
+// exactly once, so the sum of the band spans' attached costs equals
+// both totals byte for byte.
+func (o Options) addBandCost(c obs.Cost) {
+	o.Cost.Add(c)
+	if o.Stats == nil || c.IsZero() {
+		return
+	}
+	statsMu.Lock()
+	o.Stats.Cost.Accumulate(c)
+	statsMu.Unlock()
+}
+
+// costed reports whether band solves should account DP cost: any of the
+// cost sinks (the per-call counter, a trace wanting span costs, Stats
+// totals) is attached.
+func (o Options) costed() bool {
+	return o.Cost != nil || o.Trace != nil || o.Stats != nil
 }
 
 func (o Options) noteFallback() {
@@ -231,7 +262,7 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 		}
 		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, run)
-		opt.Trace.Span("prepare", run, -1, t0, "")
+		tracePrepare(opt, run, t0, pc)
 		opt.addRun(len(pc.Bands))
 		if preparedHasOccurrence(pc, h, run, opt) {
 			return true, nil
@@ -243,6 +274,17 @@ func decideConnectedFrom(src CoverSource, g, h *graph.Graph, opt Options) (bool,
 		return false, err
 	}
 	return false, nil
+}
+
+// tracePrepare emits one "prepare" span for a cover repetition, pricing
+// the prepared artifact's resident bytes into the span cost. The bytes
+// are span-only attribution — cache economics, not DP work — so they
+// stay out of the query cost totals the band spans sum to.
+func tracePrepare(opt Options, run int, t0 time.Time, pc *PreparedCover) {
+	if opt.Trace == nil {
+		return
+	}
+	opt.Trace.SpanCost("prepare", run, -1, t0, "", obs.Cost{Bytes: pc.MemBytes()})
 }
 
 // preparedHasOccurrence solves every band of the prepared cover in
@@ -285,6 +327,8 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, run int, opt Optio
 			// Fallback: the band decomposition was too wide for the
 			// engine; the naive baseline is exact on the band (and not
 			// cancellable mid-search, so bail if the answer is decided).
+			// Fallback bands contribute zero DP cost: the naive search
+			// is outside the state-machinery the counters price.
 			if local.Cancelled() {
 				inner.Trace.Span("band", run, i, t0, "cancelled")
 				return
@@ -298,18 +342,23 @@ func preparedHasOccurrence(pc *PreparedCover, h *graph.Graph, run int, opt Optio
 			}
 			return
 		}
+		// The band's cost is snapshotted once and feeds both the span and
+		// the query totals; cancelled bands keep their partial cost (the
+		// work was performed even though the answer is discarded).
+		bandCost := eng.Problem().Cost.Snapshot()
+		inner.addBandCost(bandCost)
 		// A fired token here means our own DP may have aborted mid-run:
 		// its partial result must not be read (and is not needed).
 		if local.Cancelled() {
-			inner.Trace.Span("band", run, i, t0, "cancelled")
+			inner.Trace.SpanCost("band", run, i, t0, "cancelled", bandCost)
 			return
 		}
 		if eng.Found() {
 			found.Store(true)
 			cancelSiblings(local)
-			inner.Trace.Span("band", run, i, t0, "found")
+			inner.Trace.SpanCost("band", run, i, t0, "found", bandCost)
 		} else {
-			inner.Trace.Span("band", run, i, t0, "miss")
+			inner.Trace.SpanCost("band", run, i, t0, "miss", bandCost)
 		}
 	})
 	return found.Load()
@@ -361,9 +410,17 @@ func solvePreparedMode(pb *PreparedBand, h *graph.Graph, separating, decideOnly 
 		return nil, false
 	}
 	b := pb.Band
+	// Each band gets its own cost counter so callers can attribute the
+	// engine's counters to this band's span before folding them into the
+	// query totals; nil when no sink wants cost, keeping the engines'
+	// flush sites on the single-nil-check path.
+	var bc *obs.CostCounter
+	if opt.costed() {
+		bc = new(obs.CostCounter)
+	}
 	p := &match.Problem{G: b.G, H: h, ND: pb.ND, Allowed: b.Allowed, S: b.S,
 		Separating: separating, DecideOnly: decideOnly, Cancel: opt.Cancel,
-		Trace: opt.Trace}
+		Trace: opt.Trace, Cost: bc}
 	if separating || opt.Engine == EngineSequential {
 		// The path-DAG engine covers plain mode only (its state universe
 		// enumeration has no separating labels).

@@ -8,6 +8,7 @@ import (
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 )
 
@@ -58,7 +59,7 @@ func ListFrom(src CoverSource, g, h *graph.Graph, opt Options) ([]Occurrence, er
 		}
 		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, j)
-		opt.Trace.Span("prepare", j, -1, t0, "")
+		tracePrepare(opt, j, t0, pc)
 		run := j
 		j++
 		opt.addRun(len(pc.Bands))
@@ -146,7 +147,7 @@ func FindOneFrom(src CoverSource, g, h *graph.Graph, opt Options) (Occurrence, e
 		}
 		t0 := opt.Trace.Begin()
 		pc := src.Prepared(k, d, run)
-		opt.Trace.Span("prepare", run, -1, t0, "")
+		tracePrepare(opt, run, t0, pc)
 		opt.addRun(len(pc.Bands))
 		if occ := findInPrepared(pc, h, run, opt); occ != nil {
 			return occ, nil
@@ -175,11 +176,13 @@ func enumeratePrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) 
 			opt.Trace.Span("band", run, i, t0, "skipped")
 			return
 		}
-		results[i] = enumerateBand(&bands[i], h, opt)
+		occs, cost := enumerateBand(&bands[i], h, opt)
+		results[i] = occs
+		opt.addBandCost(cost)
 		if opt.Trace != nil {
 			// The note's occurrence count is only rendered on traced
 			// queries; unexercised fmt stays off the untraced path.
-			opt.Trace.Span("band", run, i, t0, fmt.Sprintf("occs=%d", len(results[i])))
+			opt.Trace.SpanCost("band", run, i, t0, fmt.Sprintf("occs=%d", len(occs)), cost)
 		}
 	})
 	var out []Occurrence
@@ -189,18 +192,22 @@ func enumeratePrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) 
 	return out
 }
 
-// enumerateBand lists the band's occurrences that touch its lowest level.
-func enumerateBand(pb *PreparedBand, h *graph.Graph, opt Options) []Occurrence {
+// enumerateBand lists the band's occurrences that touch its lowest
+// level, returning the band's DP cost alongside (zero for tiny bands
+// and naive fallbacks).
+func enumerateBand(pb *PreparedBand, h *graph.Graph, opt Options) ([]Occurrence, obs.Cost) {
 	b := pb.Band
 	if b.G.N() < h.N() {
-		return nil
+		return nil, obs.Cost{}
 	}
 	var local []match.Assignment
+	var cost obs.Cost
 	if eng, ok := solvePrepared(pb, h, false, opt); ok {
+		cost = eng.Problem().Cost.Snapshot()
 		if opt.Cancel.Cancelled() {
 			// The DP may have aborted mid-run; Enumerate on a partial
 			// result is unsound and the answer is being discarded anyway.
-			return nil
+			return nil, cost
 		}
 		local = eng.Enumerate(0)
 	} else {
@@ -219,7 +226,7 @@ func enumerateBand(pb *PreparedBand, h *graph.Graph, opt Options) []Occurrence {
 		}
 		out = append(out, occ)
 	}
-	return out
+	return out, cost
 }
 
 func touchesLowest(lowest []bool, a match.Assignment) bool {
@@ -252,9 +259,12 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) Occ
 			return
 		}
 		var local []match.Assignment
+		var cost obs.Cost
 		if eng, ok := solvePrepared(pb, h, false, inner); ok {
+			cost = eng.Problem().Cost.Snapshot()
+			inner.addBandCost(cost)
 			if bandCancel.Cancelled() {
-				inner.Trace.Span("band", run, i, t0, "cancelled")
+				inner.Trace.SpanCost("band", run, i, t0, "cancelled", cost)
 				return
 			}
 			local = eng.Enumerate(1)
@@ -264,10 +274,10 @@ func findInPrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) Occ
 			}
 		}
 		if len(local) == 0 {
-			inner.Trace.Span("band", run, i, t0, "miss")
+			inner.Trace.SpanCost("band", run, i, t0, "miss", cost)
 			return
 		}
-		inner.Trace.Span("band", run, i, t0, "found")
+		inner.Trace.SpanCost("band", run, i, t0, "found", cost)
 		occ := make(Occurrence, len(local[0]))
 		for u, lv := range local[0] {
 			occ[u] = b.Orig[lv]

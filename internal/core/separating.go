@@ -7,6 +7,7 @@ import (
 	"planarsi/internal/graph"
 	"planarsi/internal/match"
 	"planarsi/internal/naive"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 )
 
@@ -60,9 +61,11 @@ func DecideSeparatingFrom(src SeparatingSource, g, h *graph.Graph, s []bool, opt
 		if opt.Cancel.Cancelled() {
 			return nil, par.ErrCancelled
 		}
+		t0 := opt.Trace.Begin()
 		pc := src.PreparedSeparating(s, k, d, run)
+		tracePrepare(opt, run, t0, pc)
 		opt.addRun(len(pc.Bands))
-		if occ := findSeparatingInPrepared(pc, h, opt); occ != nil {
+		if occ := findSeparatingInPrepared(pc, h, run, opt); occ != nil {
 			return occ, nil
 		}
 	}
@@ -74,8 +77,10 @@ func DecideSeparatingFrom(src SeparatingSource, g, h *graph.Graph, s []bool, opt
 
 // findSeparatingInPrepared solves every separating band and returns one
 // witness occurrence in original vertex ids, or nil. As in
-// findInPrepared, the first witness cancels the sibling bands mid-DP.
-func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Occurrence {
+// findInPrepared, the first witness cancels the sibling bands mid-DP,
+// and every band emits exactly one "band" span with its outcome and DP
+// cost.
+func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, run int, opt Options) Occurrence {
 	bands := pc.Bands
 	bandCancel := par.NewChild(opt.Cancel)
 	inner := opt
@@ -86,12 +91,18 @@ func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Oc
 		injectBandFaults()
 		pb := &bands[i]
 		b := pb.Band
+		t0 := inner.Trace.Begin()
 		if bandCancel.Cancelled() || b == nil || b.G.N() < h.N() {
+			inner.Trace.Span("band", run, i, t0, "skipped")
 			return
 		}
 		var local match.Assignment
+		var cost obs.Cost
 		if eng, ok := solvePrepared(pb, h, true, inner); ok {
+			cost = eng.Problem().Cost.Snapshot()
+			inner.addBandCost(cost)
 			if bandCancel.Cancelled() {
+				inner.Trace.SpanCost("band", run, i, t0, "cancelled", cost)
 				return
 			}
 			if as := eng.Enumerate(1); len(as) > 0 {
@@ -101,8 +112,10 @@ func findSeparatingInPrepared(pc *PreparedCover, h *graph.Graph, opt Options) Oc
 			local = separatingBrute(b, h)
 		}
 		if local == nil {
+			inner.Trace.SpanCost("band", run, i, t0, "miss", cost)
 			return
 		}
+		inner.Trace.SpanCost("band", run, i, t0, "found", cost)
 		occ := make(Occurrence, len(local))
 		for u, lv := range local {
 			occ[u] = b.Orig[lv]

@@ -38,6 +38,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"planarsi/internal/core"
 	"planarsi/internal/estc"
@@ -67,6 +68,10 @@ type Index struct {
 	// pattern of a batched scan) for the Index's whole lifetime; Reset
 	// does not clear it.
 	queries atomic.Uint64
+
+	// memo holds the per-artifact-class cache-traffic counters behind
+	// MemoStats (hits, misses, build time); residency lives in the maps.
+	memo [numMemoClasses]memoCounters
 
 	mu       sync.Mutex
 	clusters map[clusterKey]*clusterEntry
@@ -190,7 +195,9 @@ func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 		ix.clusters[key] = e
 	}
 	ix.mu.Unlock()
+	ix.memo[memoClustering].touch(ok && e.done.Load())
 	e.once.Do(func() {
+		t0 := time.Now()
 		defer depoisonOnPanic(&e.done, func() {
 			ix.mu.Lock()
 			if ix.clusters[key] == e {
@@ -200,6 +207,7 @@ func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 		})
 		e.cl = core.ClusterRun(ix.g, beta, run, ix.opt)
 		e.bytes = e.cl.MemBytes()
+		ix.memo[memoClustering].buildNanos.Add(time.Since(t0).Nanoseconds())
 		e.done.Store(true)
 	})
 	checkBuilt(&e.done, "clustering")
@@ -217,7 +225,14 @@ func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
 // unaffected — a fresh build equals a cached one by construction.
 func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
 	if run >= core.RunBudget(ix.g.N(), ix.opt) {
-		return core.PrepareRun(ix.g, k, d, run, ix.opt)
+		// Deliberately uncached: every such access is a miss and its
+		// build time is charged like a memoized build's.
+		m := &ix.memo[memoPlainCover]
+		m.touch(false)
+		t0 := time.Now()
+		pc := core.PrepareRun(ix.g, k, d, run, ix.opt)
+		m.buildNanos.Add(time.Since(t0).Nanoseconds())
+		return pc
 	}
 	key := coverKey{k, d, run}
 	ix.mu.Lock()
@@ -227,7 +242,9 @@ func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
 		ix.plain[key] = e
 	}
 	ix.mu.Unlock()
+	ix.memo[memoPlainCover].touch(ok && e.done.Load())
 	e.once.Do(func() {
+		t0 := time.Now()
 		defer depoisonOnPanic(&e.done, func() {
 			ix.mu.Lock()
 			if ix.plain[key] == e {
@@ -239,6 +256,7 @@ func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
 		e.pc = core.PrepareFromClustering(ix.g, cl, k, d, ix.opt)
 		e.bytes = e.pc.MemBytes()
 		e.bands = len(e.pc.Bands)
+		ix.memo[memoPlainCover].buildNanos.Add(time.Since(t0).Nanoseconds())
 		e.done.Store(true)
 	})
 	checkBuilt(&e.done, "prepared cover")
@@ -257,7 +275,9 @@ func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover
 		ix.sep[key] = e
 	}
 	ix.mu.Unlock()
+	ix.memo[memoSepCover].touch(ok && e.done.Load())
 	e.once.Do(func() {
+		t0 := time.Now()
 		defer depoisonOnPanic(&e.done, func() {
 			ix.mu.Lock()
 			if ix.sep[key] == e {
@@ -269,6 +289,7 @@ func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover
 		e.pc = core.PrepareSeparatingFromClustering(ix.g, cl, s, k, d, ix.opt)
 		e.bytes = e.pc.MemBytes()
 		e.bands = len(e.pc.Bands)
+		ix.memo[memoSepCover].buildNanos.Add(time.Since(t0).Nanoseconds())
 		e.done.Store(true)
 	})
 	checkBuilt(&e.done, "separating cover")
@@ -287,15 +308,17 @@ func packMask(s []bool) string {
 }
 
 // queryOptions derives one query's pipeline Options from the Index's,
-// attaching a cancellation token watching ctx and the ctx's span
-// recorder (obs.WithRecorder) when the query is traced. The returned
-// stop func must be deferred by the caller. Cached artifact builds
-// always run with the Index's own token-free Options (see Prepared), so
-// a cancelled query can never leave a partial artifact behind — only
-// the query's own dynamic programs are abandoned.
+// attaching a cancellation token watching ctx plus the ctx's span
+// recorder (obs.WithRecorder) and cost counter (obs.WithCost) when the
+// query carries them. The returned stop func must be deferred by the
+// caller. Cached artifact builds always run with the Index's own
+// token-free Options (see Prepared), so a cancelled query can never
+// leave a partial artifact behind — only the query's own dynamic
+// programs are abandoned.
 func (ix *Index) queryOptions(ctx context.Context) (core.Options, func()) {
 	opt := ix.opt
 	opt.Trace = obs.FromContext(ctx)
+	opt.Cost = obs.CostFromContext(ctx)
 	if ctx == nil || ctx.Done() == nil {
 		return opt, func() {}
 	}

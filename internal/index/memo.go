@@ -1,0 +1,94 @@
+package index
+
+import "sync/atomic"
+
+// Memo-cache observability: per-artifact-class hit/miss/build-time
+// counters, kept out of Stats deliberately — Stats describes cache
+// *contents* and round-trips through snapshots byte-identically, while
+// these counters describe cache *traffic* and restart from zero with
+// the process. The serving layer exports them as the
+// planarsi_index_memo_* metric families.
+
+// Artifact classes, in the order MemoStats reports them.
+const (
+	memoClustering = iota
+	memoPlainCover
+	memoSepCover
+	numMemoClasses
+)
+
+var memoClassNames = [numMemoClasses]string{"clustering", "cover", "separating"}
+
+// memoCounters is one artifact class's traffic counters.
+type memoCounters struct {
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	buildNanos atomic.Int64
+}
+
+// touch records one cache access.
+func (m *memoCounters) touch(hit bool) {
+	if hit {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+}
+
+// MemoStats is one artifact class's cache-traffic snapshot.
+type MemoStats struct {
+	// Class names the artifact class: "clustering" (ESTC clusterings),
+	// "cover" (plain prepared covers), "separating" (separating
+	// prepared covers).
+	Class string `json:"class"`
+	// Hits counts accesses that found a fully built entry; Misses
+	// counts the rest (entry absent, still building, or past the run
+	// budget and deliberately uncached).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// BuildSeconds totals wall time spent inside this class's builds.
+	// Cover builds include the time of a clustering build they trigger,
+	// so classes overlap: the column prices each class's critical path,
+	// not a partition of CPU time.
+	BuildSeconds float64 `json:"buildSeconds"`
+	// Bytes and Entries describe the fully built entries currently
+	// resident (the same accounting Stats aggregates across classes).
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+// MemoStats snapshots the per-class memo-cache traffic and residency,
+// ordered clustering, cover, separating.
+func (ix *Index) MemoStats() []MemoStats {
+	out := make([]MemoStats, numMemoClasses)
+	for c := range out {
+		m := &ix.memo[c]
+		out[c] = MemoStats{
+			Class:        memoClassNames[c],
+			Hits:         m.hits.Load(),
+			Misses:       m.misses.Load(),
+			BuildSeconds: float64(m.buildNanos.Load()) / 1e9,
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.clusters {
+		if e.done.Load() {
+			out[memoClustering].Entries++
+			out[memoClustering].Bytes += e.bytes
+		}
+	}
+	for _, e := range ix.plain {
+		if e.done.Load() {
+			out[memoPlainCover].Entries++
+			out[memoPlainCover].Bytes += e.bytes
+		}
+	}
+	for _, e := range ix.sep {
+		if e.done.Load() {
+			out[memoSepCover].Entries++
+			out[memoSepCover].Bytes += e.bytes
+		}
+	}
+	return out
+}

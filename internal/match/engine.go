@@ -44,6 +44,13 @@ type Problem struct {
 	// cancellation visible in a query's trace timeline. Never touched on
 	// the per-state hot path.
 	Trace *obs.Recorder
+	// Cost, when non-nil, accumulates the run's DP cost counters.
+	// Engines batch deltas into locals and flush them at the same
+	// program points as AddStatesGenerated (once per node here, once
+	// per path in pmdag), flushing the same emission local to both, so
+	// Cost.Emissions always equals StatesGenerated exactly and the
+	// disabled path stays one nil check per flush site.
+	Cost *obs.CostCounter
 }
 
 func (p *Problem) allowed(v int32) bool {
@@ -214,6 +221,27 @@ func Run(p *Problem, tr *wd.Tracker) *Result {
 		}
 		r.Sets[i] = set
 		r.AddStatesGenerated(emitted)
+		if p.Cost != nil {
+			// Children are still resident here (DecideOnly recycles
+			// below), so their lengths price the states read.
+			var read int64
+			if l := nd.Left[i]; l >= 0 {
+				read += int64(r.Sets[l].Len())
+			}
+			if rt := nd.Right[i]; rt >= 0 {
+				read += int64(r.Sets[rt].Len())
+			}
+			c := obs.Cost{
+				Nodes:     1,
+				States:    int64(set.Len()),
+				Emissions: emitted,
+				Bytes:     (read + int64(set.Len())) * StateBytes,
+			}
+			if nd.Kind[i] == treedecomp.Join {
+				c.Joins = emitted
+			}
+			p.Cost.Add(c)
+		}
 		tr.AddPhaseWork("dp", int64(set.Len()))
 		if p.DecideOnly {
 			if l := nd.Left[i]; l >= 0 {

@@ -37,6 +37,7 @@ package match
 
 import (
 	"fmt"
+	"unsafe"
 
 	"planarsi/internal/graph"
 )
@@ -58,6 +59,11 @@ type State struct {
 	In, Out uint32
 	IX, OX  bool
 }
+
+// StateBytes is the in-memory size of one State, the unit the cost
+// accounting uses to price states read and written (an estimate of
+// bytes touched, not allocator truth).
+const StateBytes = int64(unsafe.Sizeof(State{}))
 
 // emptyState returns the all-unmatched state.
 func emptyState() State {

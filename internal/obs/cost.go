@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Cost is one batch of dynamic-programming cost counters: the paper's
+// work measure broken down by what the engines actually did. Engines
+// accumulate a Cost in function-local variables and flush it once per
+// nice node (sequential engine) or once per path (pmdag engine), the
+// same discipline as the work counter, so the disabled path stays a
+// single nil check per flush site.
+//
+// Emissions is defined to equal the engine work counter
+// (Result.StatesGenerated) exactly: both are flushed from the same
+// local at the same program points. The other fields are attribution
+// detail — Bytes is an estimate (state-struct sizes, not allocator
+// truth).
+type Cost struct {
+	// Nodes counts nice-decomposition nodes visited.
+	Nodes int64 `json:"nodes,omitempty"`
+	// States counts states inserted into per-node state sets (for the
+	// pmdag engine: states materialized into level universes).
+	States int64 `json:"states,omitempty"`
+	// Joins counts join combinations attempted (signature-bucket
+	// pairings scanned, successful or not).
+	Joins int64 `json:"joins,omitempty"`
+	// Emissions counts state emissions across all transitions; it
+	// matches the engine's StatesGenerated counter byte for byte.
+	Emissions int64 `json:"emissions,omitempty"`
+	// Bytes estimates state bytes read and written while processing.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// IsZero reports whether every counter is zero.
+func (c Cost) IsZero() bool {
+	return c == Cost{}
+}
+
+// Accumulate adds d into c field by field.
+func (c *Cost) Accumulate(d Cost) {
+	c.Nodes += d.Nodes
+	c.States += d.States
+	c.Joins += d.Joins
+	c.Emissions += d.Emissions
+	c.Bytes += d.Bytes
+}
+
+// CostCounter is a concurrency-safe Cost accumulator. A nil
+// *CostCounter is a valid no-op sink, mirroring the nil *Recorder
+// contract: engines flush batched locals through one nil check.
+type CostCounter struct {
+	nodes     atomic.Int64
+	states    atomic.Int64
+	joins     atomic.Int64
+	emissions atomic.Int64
+	bytes     atomic.Int64
+}
+
+// Add accumulates a flushed cost batch. Nil receivers and zero batches
+// are free.
+func (c *CostCounter) Add(d Cost) {
+	if c == nil || d.IsZero() {
+		return
+	}
+	if d.Nodes != 0 {
+		c.nodes.Add(d.Nodes)
+	}
+	if d.States != 0 {
+		c.states.Add(d.States)
+	}
+	if d.Joins != 0 {
+		c.joins.Add(d.Joins)
+	}
+	if d.Emissions != 0 {
+		c.emissions.Add(d.Emissions)
+	}
+	if d.Bytes != 0 {
+		c.bytes.Add(d.Bytes)
+	}
+}
+
+// Snapshot returns the accumulated totals; zero for a nil counter.
+func (c *CostCounter) Snapshot() Cost {
+	if c == nil {
+		return Cost{}
+	}
+	return Cost{
+		Nodes:     c.nodes.Load(),
+		States:    c.states.Load(),
+		Joins:     c.joins.Load(),
+		Emissions: c.emissions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+}
+
+// costKey carries a *CostCounter through a context.
+type costKey struct{}
+
+// WithCost returns a context carrying the query-level cost counter; the
+// serving layer attaches one beside the span recorder at admission, and
+// the Index picks it up at the query boundary.
+func WithCost(ctx context.Context, c *CostCounter) context.Context {
+	return context.WithValue(ctx, costKey{}, c)
+}
+
+// CostFromContext returns the context's cost counter, or nil (including
+// for a nil context).
+func CostFromContext(ctx context.Context) *CostCounter {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(costKey{}).(*CostCounter)
+	return c
+}

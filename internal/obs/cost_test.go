@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCostCounterNilSafe(t *testing.T) {
+	var c *CostCounter
+	c.Add(Cost{Nodes: 5, Emissions: 7}) // must not panic
+	if got := c.Snapshot(); !got.IsZero() {
+		t.Fatalf("nil counter snapshot = %+v, want zero", got)
+	}
+}
+
+func TestCostCounterAccumulates(t *testing.T) {
+	c := new(CostCounter)
+	c.Add(Cost{Nodes: 1, States: 2, Joins: 3, Emissions: 4, Bytes: 5})
+	c.Add(Cost{Nodes: 10, Emissions: 40})
+	c.Add(Cost{}) // zero batch: free, no effect
+	want := Cost{Nodes: 11, States: 2, Joins: 3, Emissions: 44, Bytes: 5}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestCostAccumulateFieldwise(t *testing.T) {
+	var c Cost
+	c.Accumulate(Cost{Nodes: 1, Bytes: 2})
+	c.Accumulate(Cost{Nodes: 3, Joins: 4})
+	if want := (Cost{Nodes: 4, Joins: 4, Bytes: 2}); c != want {
+		t.Fatalf("accumulated = %+v, want %+v", c, want)
+	}
+	if c.IsZero() {
+		t.Fatal("nonzero cost reported IsZero")
+	}
+	if !(Cost{}).IsZero() {
+		t.Fatal("zero cost not IsZero")
+	}
+}
+
+func TestCostContextCarrier(t *testing.T) {
+	if got := CostFromContext(context.Background()); got != nil {
+		t.Fatalf("bare context carried a counter: %v", got)
+	}
+	if got := CostFromContext(nil); got != nil {
+		t.Fatalf("nil context carried a counter: %v", got)
+	}
+	c := new(CostCounter)
+	ctx := WithCost(context.Background(), c)
+	if got := CostFromContext(ctx); got != c {
+		t.Fatalf("carrier round-trip: got %p, want %p", got, c)
+	}
+}
+
+// TestSpanCostAttachment: SpanCost attaches the cost breakdown only when
+// it is nonzero, so zero-cost spans (skipped bands, fallback) serialize
+// without a noise "cost" object.
+func TestSpanCostAttachment(t *testing.T) {
+	r := NewRecorder(0)
+	t0 := r.Begin()
+	r.SpanCost("band", 0, 0, t0, "miss", Cost{Emissions: 9})
+	r.SpanCost("band", 0, 1, t0, "skipped", Cost{})
+	spans, _ := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Cost == nil || spans[0].Cost.Emissions != 9 {
+		t.Fatalf("span 0 cost = %+v, want Emissions 9", spans[0].Cost)
+	}
+	if spans[1].Cost != nil {
+		t.Fatalf("zero-cost span carries cost %+v, want nil", spans[1].Cost)
+	}
+	// Nil recorders swallow SpanCost like every other method.
+	var nilRec *Recorder
+	nilRec.SpanCost("band", 0, 0, time.Time{}, "", Cost{Nodes: 1})
+}
+
+// TestRecorderDropCounting: spans past the limit are counted, Dropped
+// agrees with Snapshot, and the kept spans are the prefix.
+func TestRecorderDropCounting(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Event("e", i, -1, "")
+	}
+	spans, dropped := r.Snapshot()
+	if len(spans) != 3 || dropped != 2 {
+		t.Fatalf("snapshot = %d spans, %d dropped; want 3, 2", len(spans), dropped)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	if spans[0].Run != 0 || spans[2].Run != 2 {
+		t.Fatalf("kept spans are not the prefix: %+v", spans)
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Fatal("nil recorder Dropped() != 0")
+	}
+}

@@ -30,6 +30,10 @@ type Span struct {
 	// Note carries the outcome: "found", "miss", "skipped",
 	// "cancelled", "fallback", "occs=N", ...
 	Note string `json:"note,omitempty"`
+	// Cost carries the span's DP cost counters when the emit point
+	// attributed work to it (band spans: the band's engine counters;
+	// prepare spans: the prepared artifact's resident bytes).
+	Cost *Cost `json:"cost,omitempty"`
 }
 
 // DefaultSpanLimit bounds a recorder when the caller passes limit <= 0.
@@ -87,6 +91,27 @@ func (r *Recorder) Span(name string, run, band int, start time.Time, note string
 	})
 }
 
+// SpanCost records an interval like Span, attaching c as the span's
+// cost breakdown when it is nonzero.
+func (r *Recorder) SpanCost(name string, run, band int, start time.Time, note string, c Cost) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	sp := Span{
+		Name:        name,
+		Run:         run,
+		Band:        band,
+		StartMicros: float64(start.Sub(r.origin).Nanoseconds()) / 1e3,
+		DurMicros:   float64(now.Sub(start).Nanoseconds()) / 1e3,
+		Note:        note,
+	}
+	if !c.IsZero() {
+		sp.Cost = &c
+	}
+	r.add(sp)
+}
+
 // Event records an instant (zero-duration span) at now.
 func (r *Recorder) Event(name string, run, band int, note string) {
 	if r == nil {
@@ -122,6 +147,17 @@ func (r *Recorder) Snapshot() (spans []Span, dropped int) {
 	out := make([]Span, len(r.spans))
 	copy(out, r.spans)
 	return out, r.dropped
+}
+
+// Dropped returns the count of spans discarded at the limit, without
+// copying the span slice the way Snapshot does.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // ctxKey carries a *Recorder through a context.

@@ -137,6 +137,7 @@ func poolFor(procs int) *Pool {
 		}
 		np := NewPool(procs)
 		if sharedPool.CompareAndSwap(p, np) {
+			poolResizes.Add(1)
 			if p != nil {
 				go p.Close()
 			}

@@ -316,6 +316,7 @@ func (p *Pool) workerLoop(c *Ctx) {
 			idleSpins = 0
 			continue
 		}
+		poolParks.Add(1)
 		select {
 		case <-p.wake:
 			p.parked.Add(-1)
@@ -355,6 +356,7 @@ func (c *Ctx) findTask() *Task {
 			continue
 		}
 		if t := v.steal(); t != nil {
+			poolSteals.Add(1)
 			return t
 		}
 	}

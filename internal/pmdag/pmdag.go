@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"planarsi/internal/match"
+	"planarsi/internal/obs"
 	"planarsi/internal/par"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/treepath"
@@ -135,8 +136,9 @@ func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *St
 
 // bottomStates computes the complete valid state set of a path's bottom
 // node directly from its (already solved) children. State emissions are
-// accumulated into *emitted (the caller flushes once per path).
-func bottomStates(eng *match.Result, i int32, ji *match.JoinIndex, emitted *int64) *match.StateSet {
+// accumulated into *emitted and join attempts into *joins (the caller
+// flushes both once per path).
+func bottomStates(eng *match.Result, i int32, ji *match.JoinIndex, emitted, joins *int64) *match.StateSet {
 	nd := eng.Problem().ND
 	switch nd.Kind[i] {
 	case treedecomp.Leaf:
@@ -171,6 +173,7 @@ func bottomStates(eng *match.Result, i int32, ji *match.JoinIndex, emitted *int6
 			lo, hi := ji.Bucket(&ls)
 			for t := lo; t < hi; t++ {
 				*emitted++
+				*joins++
 				if s, ok := eng.JoinCombine(ls, *ji.At(t)); ok {
 					out.Add(s)
 				}
@@ -197,9 +200,12 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 	p := eng.Problem()
 	nd := p.ND
 	L := len(path)
-	// emitted batches every state emission of this path; one atomic flush
-	// at the end keeps the transition loops free of shared-counter traffic.
-	var emitted int64
+	// emitted batches every state emission of this path (and joins the
+	// join-attempt subset); one atomic flush at the end keeps the
+	// transition loops free of shared-counter traffic. The cost counter
+	// is flushed at the same points from the same emitted local, so
+	// Cost.Emissions tracks StatesGenerated exactly.
+	var emitted, joins int64
 	// ji is this worker's reusable signature index for join grouping.
 	var ji match.JoinIndex
 	// consumed collects the child nodes whose sets this path read; in
@@ -227,9 +233,10 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 			}
 		}
 		eng.AddStatesGenerated(emitted)
+		p.Cost.Add(obs.Cost{Joins: joins, Emissions: emitted})
 		return pathStats{}
 	}
-	uni[0] = bottomStates(eng, path[0], &ji, &emitted)
+	uni[0] = bottomStates(eng, path[0], &ji, &emitted, &joins)
 	for j := 1; j < L; j++ {
 		if p.Cancel.Cancelled() {
 			return abort()
@@ -309,6 +316,7 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 				lo, hi := ji.Bucket(&s)
 				for t := lo; t < hi; t++ {
 					emitted++
+					joins++
 					if w, ok := eng.JoinCombine(s, *ji.At(t)); ok {
 						addEdge(src, lookup(w), ji.At(t).C == 0)
 					}
@@ -404,6 +412,16 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 	}
 	tr.AddPhaseWork("pmdag", edges+int64(V))
 	eng.AddStatesGenerated(emitted)
+	// One cost flush per path, mirroring the work-counter flush above:
+	// Nodes are the path's nice nodes, States the materialized DAG
+	// vertices, Bytes the universes plus the pair list and its CSR copy.
+	p.Cost.Add(obs.Cost{
+		Nodes:     int64(L),
+		States:    int64(V),
+		Joins:     joins,
+		Emissions: emitted,
+		Bytes:     int64(V)*match.StateBytes + int64(len(pairs))*12,
+	})
 
 	// Store valid sets for the path's nodes. Level 0 is its own valid set
 	// verbatim (every bottom state is a BFS source); interior levels keep

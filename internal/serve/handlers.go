@@ -14,6 +14,7 @@ import (
 	"planarsi/internal/index"
 	"planarsi/internal/match"
 	"planarsi/internal/obs"
+	"planarsi/internal/par"
 )
 
 // StatusClientClosedRequest is the (nginx-conventional) status reported
@@ -125,10 +126,27 @@ type QueryResponse struct {
 
 // TraceJSON is the wire form of a ?trace=1 span timeline.
 type TraceJSON struct {
-	Spans []obs.Span `json:"spans"`
-	// Dropped counts spans lost to the recorder's bound; nonzero means
-	// the timeline is a prefix of the query's real span stream.
-	Dropped int `json:"dropped,omitempty"`
+	// RequestID is this server's id for the request (also in the
+	// X-Request-Id response header and every correlated log line);
+	// TraceID is the inbound W3C traceparent's trace-id, when one came.
+	RequestID string     `json:"requestId,omitempty"`
+	TraceID   string     `json:"traceId,omitempty"`
+	Spans     []obs.Span `json:"spans"`
+	// Dropped counts spans lost to the recorder's bound; Truncated
+	// mirrors Dropped > 0: the timeline is a prefix of the query's real
+	// span stream.
+	Dropped   int  `json:"dropped,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Cost is the query's DP cost total — the exact sum of the band
+	// spans' cost breakdowns (prepare spans' bytes are cache residency,
+	// not DP work, and are excluded).
+	Cost *obs.Cost `json:"cost,omitempty"`
+	// PoolSteals and PoolParks are the work-stealing pool's event deltas
+	// over the request window. The pool is process-global, so concurrent
+	// queries' events blend into each other's deltas: attribution is by
+	// time window, not ownership.
+	PoolSteals int64 `json:"poolSteals,omitempty"`
+	PoolParks  int64 `json:"poolParks,omitempty"`
 }
 
 // traceJSON extracts the request's recorded spans, when it carried a
@@ -140,7 +158,18 @@ func traceJSON(r *http.Request) *TraceJSON {
 		return nil
 	}
 	spans, dropped := rec.Snapshot()
-	return &TraceJSON{Spans: spans, Dropped: dropped}
+	tj := &TraceJSON{Spans: spans, Dropped: dropped, Truncated: dropped > 0}
+	if c := obs.CostFromContext(r.Context()).Snapshot(); !c.IsZero() {
+		tj.Cost = &c
+	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		tj.RequestID = ri.id
+		tj.TraceID = ri.traceID
+		now := par.ReadPoolStats()
+		tj.PoolSteals = now.Steals - ri.poolBase.Steals
+		tj.PoolParks = now.Parks - ri.poolBase.Parks
+	}
+	return tj
 }
 
 // ConnectivityResponse is the JSON body of /connectivity answers.
@@ -252,7 +281,7 @@ func (s *Server) handleBatched(kind BatchKind) http.HandlerFunc {
 		defer release()
 		br, err := s.admitQuery(r, req.Graph, kindName)
 		if err != nil {
-			s.writeQueryError(w, req.Graph, err)
+			s.writeQueryError(w, r, req.Graph, err)
 			return
 		}
 		res, err := s.sched.Submit(r.Context(), e, kind, h)
@@ -261,7 +290,7 @@ func (s *Server) handleBatched(kind BatchKind) http.HandlerFunc {
 		}
 		recordOutcome(br, err)
 		if err != nil {
-			s.writeQueryError(w, req.Graph, err)
+			s.writeQueryError(w, r, req.Graph, err)
 			return
 		}
 		out := QueryResponse{Graph: req.Graph, Found: res.Found, Trace: traceJSON(r)}
@@ -280,7 +309,7 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	br, err := s.admitQuery(r, req.Graph, "find")
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	var occ core.Occurrence
@@ -298,7 +327,7 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	}
 	recordOutcome(br, err)
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
@@ -325,7 +354,7 @@ func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
 	}
 	br, err := s.admitQuery(r, req.Graph, "separating")
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	var occ core.Occurrence
@@ -340,7 +369,7 @@ func (s *Server) handleSeparating(w http.ResponseWriter, r *http.Request) {
 	}
 	recordOutcome(br, err)
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Found: occ != nil, Occurrence: occ, Trace: traceJSON(r)})
@@ -354,7 +383,7 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	br, err := s.admitQuery(r, req.Graph, "connectivity")
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	var res ConnectivityResponse
@@ -369,7 +398,7 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 	}
 	recordOutcome(br, err)
 	if err != nil {
-		s.writeQueryError(w, req.Graph, err)
+		s.writeQueryError(w, r, req.Graph, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

@@ -2,9 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"planarsi/internal/obs"
+	"planarsi/internal/par"
 )
 
 // endpointMetrics accumulates one endpoint's traffic in a fixed-bucket
@@ -134,21 +135,41 @@ func (w *statusRecorder) ReadFrom(r io.Reader) (int64, error) {
 }
 
 // traced reports whether the request opted into span recording and, if
-// so, returns it with a fresh recorder attached to its context. The
-// check is a cheap substring probe before the URL query is parsed, so
-// untraced requests never allocate the parsed form here.
-func traced(r *http.Request) (*http.Request, *obs.Recorder) {
+// so, returns it with a fresh recorder and cost counter attached to its
+// context (the Index picks both up at the query boundary). The check is
+// a cheap substring probe before the URL query is parsed, so untraced
+// requests never allocate the parsed form here.
+func (s *Server) traced(r *http.Request) (*http.Request, *obs.Recorder, *obs.CostCounter) {
 	if !strings.Contains(r.URL.RawQuery, "trace") || r.URL.Query().Get("trace") != "1" {
-		return r, nil
+		return r, nil, nil
 	}
-	rec := obs.NewRecorder(0)
-	return r.WithContext(obs.WithRecorder(r.Context(), rec)), rec
+	rec := obs.NewRecorder(s.opt.TraceSpanLimit)
+	cost := new(obs.CostCounter)
+	ctx := obs.WithCost(obs.WithRecorder(r.Context(), rec), cost)
+	return r.WithContext(ctx), rec, cost
+}
+
+// correlate mints the request's id, parses any inbound traceparent, and
+// attaches the reqInfo to the context; the response headers carry the
+// id back (X-Request-Id always, traceparent when the client sent one —
+// with our id as the parent-id, the downstream-span propagation shape).
+func correlate(w http.ResponseWriter, r *http.Request) (*http.Request, *reqInfo) {
+	ri := &reqInfo{id: newRequestID()}
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		ri.traceID, ri.flags, _ = parseTraceparent(tp)
+	}
+	w.Header().Set("X-Request-Id", ri.id)
+	if ri.traceID != "" {
+		w.Header().Set("traceparent", "00-"+ri.traceID+"-"+ri.id+"-"+ri.flags)
+	}
+	return r.WithContext(withReqInfo(r.Context(), ri)), ri
 }
 
 // instrument wraps a handler with the named endpoint's histogram and
-// counters, the ?trace=1 span recorder, the slow-query log, and, when
-// Options.RequestTimeout is set, the per-request deadline (the
-// cancellation token every query derives from r.Context()).
+// counters, request-id/traceparent correlation, the ?trace=1 span
+// recorder and cost counter, the slow-query log, the JSONL trace sink,
+// and, when Options.RequestTimeout is set, the per-request deadline
+// (the cancellation token every query derives from r.Context()).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	m := newEndpointMetrics()
 	s.metrics[name] = m
@@ -158,7 +179,11 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		r, trace := traced(r)
+		r, ri := correlate(w, r)
+		r, trace, cost := s.traced(r)
+		if trace != nil {
+			ri.poolBase = par.ReadPoolStats()
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		func() {
@@ -169,7 +194,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			// down mid-metrics.
 			defer func() {
 				if v := recover(); v != nil {
-					id := s.incidentFromPanic(name, v)
+					id := s.incidentFromPanic(name, ri.id, v)
 					rec.status = http.StatusInternalServerError
 					if !rec.wroteHeader {
 						writeJSON(rec, http.StatusInternalServerError,
@@ -181,27 +206,101 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}()
 		d := time.Since(start)
 		m.observe(d, rec.status)
+		if trace != nil {
+			if dropped := trace.Dropped(); dropped > 0 {
+				s.traceDropped.Add(uint64(dropped))
+			}
+		}
+		if s.opt.TraceLog != nil {
+			s.writeTraceLog(name, ri, rec.status, d, trace, cost)
+		}
 		if s.opt.SlowQuery > 0 && d >= s.opt.SlowQuery {
-			s.logSlow(name, d, rec.status, trace)
+			s.logSlow(name, ri.id, d, rec.status, trace, cost)
 		}
 	}
 }
 
-// logSlow reports one request that exceeded Options.SlowQuery. When the
-// request was traced, the log line carries its slowest band spans — the
-// band timeline that explains where the tail latency went.
-func (s *Server) logSlow(endpoint string, d time.Duration, status int, trace *obs.Recorder) {
-	logf := s.opt.SlowLogf
-	if logf == nil {
-		logf = log.Printf
+// traceLogRecord is one -trace-log JSONL line. Every instrumented
+// request writes one; spans and cost are present only for ?trace=1
+// requests (untraced requests never pay for span recording).
+type traceLogRecord struct {
+	Time      string     `json:"time"`
+	RequestID string     `json:"requestId"`
+	TraceID   string     `json:"traceId,omitempty"`
+	Endpoint  string     `json:"endpoint"`
+	Status    int        `json:"status"`
+	DurMicros float64    `json:"durMicros"`
+	Cost      *obs.Cost  `json:"cost,omitempty"`
+	Spans     []obs.Span `json:"spans,omitempty"`
+	Dropped   int        `json:"dropped,omitempty"`
+}
+
+// writeTraceLog appends one request's record to Options.TraceLog.
+// Marshaling happens outside the lock; only the single Write is
+// serialized, so each JSONL line lands intact under concurrency.
+func (s *Server) writeTraceLog(endpoint string, ri *reqInfo, status int, d time.Duration, trace *obs.Recorder, cost *obs.CostCounter) {
+	rec := traceLogRecord{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: ri.id,
+		TraceID:   ri.traceID,
+		Endpoint:  endpoint,
+		Status:    status,
+		DurMicros: float64(d.Nanoseconds()) / 1e3,
 	}
-	detail := ""
 	if trace != nil {
-		if spans, _ := trace.Snapshot(); len(spans) > 0 {
+		rec.Spans, rec.Dropped = trace.Snapshot()
+		if c := cost.Snapshot(); !c.IsZero() {
+			rec.Cost = &c
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.traceLogMu.Lock()
+	_, _ = s.opt.TraceLog.Write(line)
+	s.traceLogMu.Unlock()
+}
+
+// logSlow reports one request that exceeded Options.SlowQuery. When the
+// request was traced, the log line carries its slowest band spans and
+// cost totals — the band timeline that explains where the tail latency
+// went. A set SlowLogf gets the flat format; otherwise the record goes
+// through the structured logger.
+func (s *Server) logSlow(endpoint, reqID string, d time.Duration, status int, trace *obs.Recorder, cost *obs.CostCounter) {
+	detail := ""
+	var spans []obs.Span
+	if trace != nil {
+		if spans, _ = trace.Snapshot(); len(spans) > 0 {
 			detail = " slowest bands: " + slowestBands(spans, 3)
 		}
 	}
-	logf("serve: slow query: endpoint=%s status=%d dur=%s%s", endpoint, status, d, detail)
+	c := cost.Snapshot()
+	if logf := s.opt.SlowLogf; logf != nil {
+		costDetail := ""
+		if !c.IsZero() {
+			costDetail = fmt.Sprintf(" cost={nodes=%d states=%d joins=%d emissions=%d bytes=%d}",
+				c.Nodes, c.States, c.Joins, c.Emissions, c.Bytes)
+		}
+		logf("serve: slow query: req=%s endpoint=%s status=%d dur=%s%s%s",
+			reqID, endpoint, status, d, costDetail, detail)
+		return
+	}
+	attrs := []any{
+		"requestId", reqID,
+		"endpoint", endpoint,
+		"status", status,
+		"dur", d,
+	}
+	if !c.IsZero() {
+		attrs = append(attrs, "costEmissions", c.Emissions, "costJoins", c.Joins,
+			"costStates", c.States, "costBytes", c.Bytes)
+	}
+	if len(spans) > 0 {
+		attrs = append(attrs, "slowestBands", slowestBands(spans, 3))
+	}
+	s.logger.Warn("serve: slow query", attrs...)
 }
 
 // slowestBands renders the top-k longest band spans as

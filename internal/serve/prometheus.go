@@ -11,11 +11,13 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
 	"planarsi/internal/obs"
+	"planarsi/internal/par"
 )
 
 // handleMetrics serves GET /metrics.
@@ -107,7 +109,72 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 		writeSample(b, "planarsi_breaker_rejected_total", labels, float64(bi.Rejected))
 	}
 
+	writeCounter(b, "planarsi_trace_dropped_total",
+		"Spans dropped at per-request recorder caps; nonzero means some ?trace=1 timelines were truncated.",
+		float64(s.traceDropped.Load()))
+
+	pst := par.ReadPoolStats()
+	writeCounter(b, "planarsi_pool_steals_total", "Successful work-steals across every fork-join pool this process ran.", float64(pst.Steals))
+	writeCounter(b, "planarsi_pool_parks_total", "Worker park events: a worker found no work anywhere and blocked.", float64(pst.Parks))
+	writeCounter(b, "planarsi_pool_resizes_total", "Shared-pool replacements after parallelism changes.", float64(pst.Resizes))
+	writeGauge(b, "planarsi_pool_workers", "Live shared-pool worker count (0 when no pool is installed).", float64(pst.Workers))
+	writeGauge(b, "planarsi_pool_active_workers", "Workers not currently parked waiting for work.", float64(pst.Workers-pst.Parked))
+
+	// Memo-cache traffic per (graph, artifact class). rst.Graphs comes
+	// back sorted by name and each Memo slice is in fixed class order,
+	// keeping the exposition deterministic.
+	writeHeader(b, "planarsi_index_memo_hits_total",
+		"Memo-cache accesses that found a fully built artifact, per graph and artifact class.", "counter")
+	for _, gi := range rst.Graphs {
+		for _, ms := range gi.Memo {
+			writeSample(b, "planarsi_index_memo_hits_total", memoLabels(gi.Name, ms.Class), float64(ms.Hits))
+		}
+	}
+	writeHeader(b, "planarsi_index_memo_misses_total",
+		"Memo-cache accesses that had to build (or rebuild) an artifact, per graph and artifact class.", "counter")
+	for _, gi := range rst.Graphs {
+		for _, ms := range gi.Memo {
+			writeSample(b, "planarsi_index_memo_misses_total", memoLabels(gi.Name, ms.Class), float64(ms.Misses))
+		}
+	}
+	writeHeader(b, "planarsi_index_memo_build_seconds_total",
+		"Wall time spent building artifacts, per graph and artifact class (classes overlap: cover builds include nested clustering builds).", "counter")
+	for _, gi := range rst.Graphs {
+		for _, ms := range gi.Memo {
+			writeSample(b, "planarsi_index_memo_build_seconds_total", memoLabels(gi.Name, ms.Class), ms.BuildSeconds)
+		}
+	}
+	writeHeader(b, "planarsi_index_memo_bytes",
+		"Bytes held by fully built resident artifacts, per graph and artifact class.", "gauge")
+	for _, gi := range rst.Graphs {
+		for _, ms := range gi.Memo {
+			writeSample(b, "planarsi_index_memo_bytes", memoLabels(gi.Name, ms.Class), float64(ms.Bytes))
+		}
+	}
+	writeHeader(b, "planarsi_index_memo_entries",
+		"Fully built resident artifacts, per graph and artifact class.", "gauge")
+	for _, gi := range rst.Graphs {
+		for _, ms := range gi.Memo {
+			writeSample(b, "planarsi_index_memo_entries", memoLabels(gi.Name, ms.Class), float64(ms.Entries))
+		}
+	}
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	writeGauge(b, "planarsi_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	writeGauge(b, "planarsi_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(mem.HeapAlloc))
+	writeGauge(b, "planarsi_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(mem.HeapSys))
+	writeGauge(b, "planarsi_go_heap_objects", "Live heap objects.", float64(mem.HeapObjects))
+	writeGauge(b, "planarsi_go_next_gc_bytes", "Heap size target of the next GC cycle.", float64(mem.NextGC))
+	writeCounter(b, "planarsi_go_gcs_total", "Completed GC cycles.", float64(mem.NumGC))
+	writeCounter(b, "planarsi_go_gc_pause_seconds_total", "Total stop-the-world GC pause time.", float64(mem.PauseTotalNs)/1e9)
+
 	writeGauge(b, "planarsi_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+}
+
+// memoLabels renders the {graph, class} label set of the memo families.
+func memoLabels(graph, class string) string {
+	return `class="` + class + `",graph="` + graph + `"`
 }
 
 // breakerStateValue maps BreakerInfo's state name back to the numeric

@@ -389,6 +389,10 @@ type GraphInfo struct {
 	InUse    int         `json:"inUse"`
 	Index    index.Stats `json:"index"`
 	MemBytes int64       `json:"memBytes"` // graph + cached artifacts
+	// Memo is the Index's per-artifact-class cache-traffic breakdown
+	// (hits, misses, build time), the same data /metrics exposes as the
+	// planarsi_index_memo_* families.
+	Memo []index.MemoStats `json:"memo,omitempty"`
 }
 
 // RegistryStats is a point-in-time snapshot of the registry.
@@ -419,6 +423,7 @@ func (r *Registry) Stats() RegistryStats {
 			InUse:    e.refs,
 			Index:    ixst,
 			MemBytes: ixst.GraphBytes + ixst.MemBytes,
+			Memo:     e.ix.MemoStats(),
 		}
 		st.Graphs = append(st.Graphs, info)
 		st.Bytes += info.MemBytes

@@ -8,7 +8,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"net/http"
 	"strconv"
@@ -115,28 +114,38 @@ func recordOutcome(br *breaker, err error) {
 
 // incident assigns a fresh incident id to a server-side fault, bumps
 // the incident counter, and logs the full detail — including the
-// panicking goroutine's stack when the error carries one. The HTTP
-// response gets only the id: stacks are for operators, not clients.
-func (s *Server) incident(where string, err error) string {
+// panicking goroutine's stack when the error carries one — correlated
+// with the request id that triggered it. The HTTP response gets only
+// the incident id: stacks are for operators, not clients. A set
+// IncidentLogf gets the flat format; otherwise the record goes through
+// the structured logger.
+func (s *Server) incident(where, reqID string, err error) string {
 	id := fmt.Sprintf("inc-%06d", s.incidentSeq.Add(1))
 	s.incidents.Add(1)
-	logf := s.opt.IncidentLogf
-	if logf == nil {
-		logf = log.Printf
-	}
 	var qp *index.QueryPanicError
-	if errors.As(err, &qp) {
-		logf("serve: incident %s: %s: query panic: %v\n%s", id, where, qp.Value, qp.Stack)
-	} else {
-		logf("serve: incident %s: %s: %v", id, where, err)
+	isPanic := errors.As(err, &qp)
+	if logf := s.opt.IncidentLogf; logf != nil {
+		if isPanic {
+			logf("serve: incident %s: req=%s %s: query panic: %v\n%s", id, reqID, where, qp.Value, qp.Stack)
+		} else {
+			logf("serve: incident %s: req=%s %s: %v", id, reqID, where, err)
+		}
+		return id
 	}
+	attrs := []any{"incident", id, "requestId", reqID, "where", where}
+	if isPanic {
+		attrs = append(attrs, "panic", fmt.Sprint(qp.Value), "stack", string(qp.Stack))
+	} else {
+		attrs = append(attrs, "err", err)
+	}
+	s.logger.Error("serve: incident", attrs...)
 	return id
 }
 
 // incidentFromPanic is the instrument-level backstop for a panic that
 // escaped every query-path guard (a handler bug, not an engine fault).
-func (s *Server) incidentFromPanic(endpoint string, v any) string {
-	return s.incident("endpoint "+endpoint, index.Guard(func() error { panic(v) }))
+func (s *Server) incidentFromPanic(endpoint, reqID string, v any) string {
+	return s.incident("endpoint "+endpoint, reqID, index.Guard(func() error { panic(v) }))
 }
 
 // retryAfterSeconds renders a Retry-After header value: whole seconds,
@@ -161,15 +170,20 @@ func (s *Server) retryAfter(err error) string {
 }
 
 // writeQueryError renders a query-path failure: 503s carry Retry-After,
-// 500s (query panics) carry an incident id and log the stack, and
-// everything else flows through the plain status mapping.
-func (s *Server) writeQueryError(w http.ResponseWriter, graph string, err error) {
+// 500s (query panics) carry an incident id and log the stack (tagged
+// with the failing request's id), and everything else flows through the
+// plain status mapping.
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, graph string, err error) {
 	status := queryStatus(err)
 	switch status {
 	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", s.retryAfter(err))
 	case http.StatusInternalServerError:
-		id := s.incident("graph "+graph, err)
+		reqID := ""
+		if ri := reqInfoFrom(r.Context()); ri != nil {
+			reqID = ri.id
+		}
+		id := s.incident("graph "+graph, reqID, err)
 		writeJSON(w, status, errorResponse{
 			Error:    fmt.Sprintf("%s: internal error (query panicked)", graph),
 			Incident: id,

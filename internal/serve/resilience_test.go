@@ -305,17 +305,17 @@ func TestShedNeedsHistoryAndDeadline(t *testing.T) {
 func TestRetryAfterOnQueryErrors(t *testing.T) {
 	s := New(Options{Pipeline: core.Options{Seed: 1}})
 	rec := httptest.NewRecorder()
-	s.writeQueryError(rec, "g", ErrOverloaded)
+	s.writeQueryError(rec, httptest.NewRequest("POST", "/decide", nil), "g", ErrOverloaded)
 	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("overloaded: code %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
 	}
 	rec = httptest.NewRecorder()
-	s.writeQueryError(rec, "g", &BreakerOpenError{Graph: "g", Kind: "decide", RetryAfter: 2400 * time.Millisecond})
+	s.writeQueryError(rec, httptest.NewRequest("POST", "/decide", nil), "g", &BreakerOpenError{Graph: "g", Kind: "decide", RetryAfter: 2400 * time.Millisecond})
 	if got := rec.Header().Get("Retry-After"); got != "3" {
 		t.Fatalf("breaker Retry-After = %q, want ceil(2.4s) = 3", got)
 	}
 	rec = httptest.NewRecorder()
-	s.writeQueryError(rec, "g", fmt.Errorf("%w: nope", ErrShed))
+	s.writeQueryError(rec, httptest.NewRequest("POST", "/decide", nil), "g", fmt.Errorf("%w: nope", ErrShed))
 	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("shed: code %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
 	}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"slices"
 	"strings"
@@ -37,16 +39,34 @@ type Options struct {
 	SnapshotDir string
 	// SlowQuery, when positive, logs every request whose handler latency
 	// reaches the threshold; when the request was traced (?trace=1) the
-	// log line includes its slowest band spans. 0 disables the log.
+	// log line includes its slowest band spans and DP cost totals. 0
+	// disables the log.
 	SlowQuery time.Duration
-	// SlowLogf receives slow-query log lines; nil means log.Printf.
+	// SlowLogf receives slow-query log lines; nil means structured
+	// logging through Logger.
 	SlowLogf func(format string, args ...any)
 	// Breaker configures the per-(graph, kind) circuit breakers; a zero
 	// Threshold disables them.
 	Breaker BreakerOptions
 	// IncidentLogf receives incident log lines (query panics with their
-	// stacks); nil means log.Printf.
+	// stacks); nil means structured logging through Logger.
 	IncidentLogf func(format string, args ...any)
+	// Logger receives the server's structured log records (slow queries,
+	// incidents); nil means slog.Default(). The SlowLogf/IncidentLogf
+	// hooks, when set, override it for their respective records.
+	Logger *slog.Logger
+	// TraceLog, when non-nil, receives one JSON line per instrumented
+	// request: request id, trace id, endpoint, status, duration — plus
+	// the full span timeline and cost breakdown for ?trace=1 requests.
+	// Writes are serialized; planarsiload -trace-summary reads the format
+	// back. The caller owns the writer's lifetime (planarsid closes its
+	// -trace-log file on shutdown).
+	TraceLog io.Writer
+	// TraceSpanLimit bounds the spans kept per ?trace=1 request; past it
+	// spans are dropped (counted in the response's dropped field and the
+	// planarsi_trace_dropped_total metric). <= 0 means
+	// obs.DefaultSpanLimit.
+	TraceSpanLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +91,13 @@ type Server struct {
 	metrics map[string]*endpointMetrics
 	mux     *http.ServeMux
 	start   time.Time
+	logger  *slog.Logger
+
+	// Trace export state: total spans dropped at recorder caps (the
+	// planarsi_trace_dropped_total counter) and the lock serializing
+	// JSONL writes to Options.TraceLog.
+	traceDropped atomic.Uint64
+	traceLogMu   sync.Mutex
 
 	// Resilience state: the per-(graph, kind) circuit breakers plus the
 	// incident and shed counters (see breaker.go and resilience.go).
@@ -90,6 +117,10 @@ func New(opt Options) *Server {
 		metrics:  make(map[string]*endpointMetrics),
 		breakers: make(map[breakerKey]*breaker),
 		start:    time.Now(),
+		logger:   opt.Logger,
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	// Queries grow Index caches; enforcing the budget once per executed
 	// batch (not once per request) keeps Maintain's registry sweep off

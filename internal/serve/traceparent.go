@@ -1,0 +1,118 @@
+package serve
+
+// W3C Trace Context (traceparent) propagation and per-request ids.
+//
+// Every request gets a request id minted here; it is echoed in the
+// X-Request-Id response header, stamped on slow-query and incident log
+// lines, written to the -trace-log JSONL sink, and returned inside
+// ?trace=1 payloads — one handle that correlates a client-observed
+// response with everything the server recorded about producing it.
+//
+// When the client sends a traceparent header (version 00), the request
+// joins the caller's distributed trace: the inbound trace-id is kept
+// and the response carries a traceparent whose parent-id field is this
+// server's request id, exactly the propagation a downstream span would
+// perform. Malformed headers are ignored (the spec says restart the
+// trace), leaving only the request id.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"planarsi/internal/par"
+)
+
+// reqSeq and reqBoot mint request ids without per-request syscalls: a
+// process-wide counter XORed with a boot-time random word. Uniqueness
+// within a process comes from the counter; the random word keeps ids
+// from colliding across restarts (and from being guessable).
+var (
+	reqSeq  atomic.Uint64
+	reqBoot = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Degraded but functional: ids stay unique per process.
+			return 0x9e3779b97f4a7c15
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+)
+
+// newRequestID returns a fresh 16-hex-digit request id, valid as a W3C
+// parent-id (span-id) field.
+func newRequestID() string {
+	return fmt.Sprintf("%016x", reqBoot^reqSeq.Add(1))
+}
+
+// reqInfo is the per-request correlation state instrument attaches to
+// every request's context.
+type reqInfo struct {
+	// id is this server's request id (also the outbound span-id).
+	id string
+	// traceID and flags are the inbound traceparent's fields, empty when
+	// the request carried none (or a malformed one).
+	traceID string
+	flags   string
+	// poolBase is the work-stealing pool snapshot taken at admission for
+	// traced requests, so the response can report steal/park deltas over
+	// the request window. Pool counters are process-global, so the delta
+	// is attribution by time window, not by ownership — concurrent
+	// queries' pool events blend. Zero for untraced requests.
+	poolBase par.PoolStats
+}
+
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+// reqInfoFrom returns the request's correlation state, nil when the
+// request did not pass through instrument (e.g. /metrics).
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// parseTraceparent parses a W3C traceparent header value
+// (version 00: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>").
+// It returns the trace-id and flags on success; anything malformed —
+// wrong shape, non-hex digits, all-zero trace-id or parent-id, or the
+// reserved version ff — reports ok=false and the trace restarts here.
+func parseTraceparent(v string) (traceID, flags string, ok bool) {
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false
+	}
+	version, trace, parent, flag := v[0:2], v[3:35], v[36:52], v[53:55]
+	if !isHexLower(version) || !isHexLower(trace) || !isHexLower(parent) || !isHexLower(flag) {
+		return "", "", false
+	}
+	if version == "ff" || allZero(trace) || allZero(parent) {
+		return "", "", false
+	}
+	return trace, flag, true
+}
+
+// isHexLower reports whether s is entirely lowercase hex digits (the
+// spec forbids uppercase in traceparent).
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

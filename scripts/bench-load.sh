@@ -40,4 +40,26 @@ done
 if grep -Eq '"errors": [1-9]' "$tmp/report.json"; then
     echo "bench-load: report shows request errors"; cat "$tmp/report.json"; exit 1
 fi
+
+# Regression guard: closed-mode overall p50 against the BENCH_6.json
+# baseline (tracing disabled on both sides). The tracing-off overhead of
+# the cost/trace work is one nil check per engine flush site — well under
+# 2% by construction — but a short CI run on shared hardware is far
+# noisier than that, so the tripwire only fires on a multiple of the
+# baseline (override with BENCH_GUARD_FACTOR; 0 disables).
+factor="${BENCH_GUARD_FACTOR:-4}"
+if [ "$factor" != "0" ] && command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/report.json" "$factor" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+factor = float(sys.argv[2])
+baseline = json.load(open("BENCH_6.json"))["modes"]["closed"]["overall"]["p50Millis"]
+p50 = report["modes"]["closed"]["overall"]["p50Millis"]
+limit = baseline * factor
+if p50 > limit:
+    sys.exit(f"bench-load: closed p50 {p50}ms exceeds {limit}ms "
+             f"(baseline {baseline}ms x {factor})")
+print(f"bench-load: p50 guard ok (closed p50 {p50}ms <= {limit}ms)")
+EOF
+fi
 echo "bench-load: PASS"

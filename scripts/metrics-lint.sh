@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# metrics-lint: promtool-style structural check over a Prometheus text
+# exposition (format 0.0.4), read from the file argument or stdin.
+# Enforces what a scraper and this repo's conventions rely on:
+#
+#   - every sample line is "name{labels} value" with the repo's family
+#     naming (lowercase letters and underscores only);
+#   - every family's HELP and TYPE headers precede its first sample,
+#     with a known TYPE;
+#   - histogram bucket series are cumulative (non-decreasing in le
+#     order as emitted) and end with an le="+Inf" bucket equal to the
+#     series' _count sample.
+#
+# Exits nonzero with one line per violation (used by serve-smoke).
+set -euo pipefail
+
+file="${1:-/dev/stdin}"
+
+awk '
+function err(msg) { print "metrics-lint: line " NR ": " msg; bad = 1 }
+function base(name) {
+    # A histogram family owns its _bucket/_sum/_count series.
+    if (name ~ /_bucket$/) { sub(/_bucket$/, "", name) }
+    else if (name ~ /_sum$/ && (substr(name, 1, length(name) - 4) in type)) { sub(/_sum$/, "", name) }
+    else if (name ~ /_count$/ && (substr(name, 1, length(name) - 6) in type)) { sub(/_count$/, "", name) }
+    return name
+}
+/^$/ { next }
+/^# HELP / {
+    name = $3
+    if (name in sampled) err("HELP for " name " after its samples")
+    help[name] = 1
+    next
+}
+/^# TYPE / {
+    name = $3
+    if (name in sampled) err("TYPE for " name " after its samples")
+    if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/) err("unknown TYPE " $4 " for " name)
+    type[name] = $4
+    next
+}
+/^#/ { next }
+{
+    if ($0 !~ /^[a-z_]+(\{[^}]*\})? (NaN|[-+0-9.eE]+|\+Inf)$/) {
+        err("malformed sample: " $0)
+        next
+    }
+    name = $1
+    sub(/\{.*/, "", name)
+    fam = base(name)
+    if (!(fam in help)) err("sample for " fam " without HELP")
+    if (!(fam in type)) err("sample for " fam " without TYPE")
+    sampled[fam] = 1
+    nsamples++
+
+    if (type[fam] == "histogram" && name ~ /_bucket$/) {
+        # Series key: the label set without its le pair.
+        series = $1
+        sub(/^[a-z_]+\{/, "", series); sub(/\}$/, "", series)
+        le = series
+        sub(/.*le="/, "", le); sub(/".*/, "", le)
+        gsub(/(^|,)le="[^"]*"/, "", series)
+        key = fam "{" series "}"
+        if (key in lastbucket && $2 + 0 < lastbucket[key] + 0 && le != "+Inf")
+            err("non-cumulative bucket for " key " at le=" le)
+        lastbucket[key] = $2
+        if (le == "+Inf") infbucket[key] = $2
+    }
+    if (type[fam] == "histogram" && name ~ /_count$/ && name == fam "_count") {
+        series = $1
+        if (series ~ /\{/) { sub(/^[a-z_]+\{/, "", series); sub(/\}$/, "", series) }
+        else series = ""
+        key = fam "{" series "}"
+        if (!(key in infbucket)) err("histogram " key " has no le=\"+Inf\" bucket before _count")
+        else if (infbucket[key] + 0 != $2 + 0)
+            err("histogram " key ": +Inf bucket " infbucket[key] " != count " $2)
+    }
+}
+END {
+    if (!nsamples) { print "metrics-lint: no samples found"; bad = 1 }
+    exit bad
+}
+' "$file"
+
+echo "metrics-lint: ok"

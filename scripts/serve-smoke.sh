@@ -53,7 +53,7 @@ boot() {
     pid=$!
     addr=""
     for _ in $(seq 1 100); do
-        addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+        addr=$(sed -n 's/.*planarsid: listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
         if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
             return 0
         fi
@@ -75,7 +75,7 @@ stop() {
 c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
 c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
 
-boot
+boot -debug-addr 127.0.0.1:0 -trace-log "$tmp/trace.jsonl"
 check healthz ok "$(curl -sf "http://$addr/healthz")"
 
 # Concurrent query burst: 4 decides + 4 counts of the same pattern land
@@ -98,8 +98,20 @@ check "decide path" '"found":true' "$(curl -sf -X POST "http://$addr/find" -d '{
 check stats '"batches"' "$(curl -sf "http://$addr/stats")"
 check "stats percentiles" '"p99Millis"' "$(curl -sf "http://$addr/stats")"
 
-# A traced query returns its band timeline inline.
-check "trace spans" '"name":"band"' "$(curl -sf -X POST "http://$addr/decide?trace=1" -d "$c4")"
+# A traced query returns its band timeline inline, with a nonzero DP
+# cost breakdown attached.
+traced=$(curl -sf -X POST "http://$addr/decide?trace=1" -d "$c4")
+check "trace spans" '"name":"band"' "$traced"
+check "trace cost" '"emissions":' "$traced"
+
+# Request correlation: every response carries X-Request-Id, and an
+# inbound W3C traceparent is echoed back under the same trace-id.
+tp_in='00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01'
+hdrs=$(curl -sf -D - -o /dev/null -X POST -H "traceparent: $tp_in" "http://$addr/decide" -d "$c4")
+echo "$hdrs" | grep -qi '^x-request-id: [0-9a-f]\{16\}' || fail "request id header" "$hdrs"
+echo "$hdrs" | grep -qi '^traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-[0-9a-f]\{16\}-01' \
+    || fail "traceparent echo" "$hdrs"
+echo "serve-smoke: request correlation headers ok"
 
 # Prometheus exposition: the families exist and the decide counter saw
 # the burst above (>= 9 ok requests so far on this endpoint).
@@ -112,6 +124,29 @@ if [ -z "$decide_ok" ] || [ "$decide_ok" -lt 6 ]; then
     fail "metrics decide counter" "${decide_ok:-missing}"
 fi
 echo "serve-smoke: metrics ok (decide ok=$decide_ok)"
+
+# Introspection families added by the cost/trace work are all present.
+check "metrics memo" 'planarsi_index_memo_hits_total{class="cover",graph="grid"}' "$metrics"
+check "metrics pool" 'planarsi_pool_steals_total' "$metrics"
+check "metrics trace-dropped" 'planarsi_trace_dropped_total' "$metrics"
+check "metrics go runtime" 'planarsi_go_goroutines' "$metrics"
+
+# The whole exposition must survive the structural lint (format 0.0.4:
+# headers before samples, cumulative histogram buckets, +Inf == _count).
+echo "$metrics" | bash scripts/metrics-lint.sh || fail "metrics lint" "see above"
+
+# The debug/pprof listener runs on its own port, off the query path.
+dbg=$(sed -n 's/.*debug\/pprof listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+[ -n "$dbg" ] || fail "debug addr" "$(cat "$tmp/log")"
+curl -sf --max-time 5 "http://$dbg/debug/pprof/" > /dev/null || fail "pprof index" "curl http://$dbg/debug/pprof/"
+echo "serve-smoke: debug/pprof ok ($dbg)"
+
+# Every instrumented request lands one JSONL record in the trace log;
+# traced requests additionally carry spans and cost.
+[ -s "$tmp/trace.jsonl" ] || fail "trace log" "empty $tmp/trace.jsonl"
+grep -q '"requestId"' "$tmp/trace.jsonl" || fail "trace log requestId" "$(head -1 "$tmp/trace.jsonl")"
+grep -q '"spans"' "$tmp/trace.jsonl" || fail "trace log spans" "no traced record in $tmp/trace.jsonl"
+echo "serve-smoke: trace log ok ($(wc -l < "$tmp/trace.jsonl") records)"
 
 # On-demand checkpoint: the response lists the warmed grid cache and the
 # file lands in the snapshot directory.
