@@ -94,7 +94,7 @@ benchstat:
 # single iteration both exercises the perf-critical paths end to end and
 # fails loudly if a result drifts (each benchmark asserts its answers).
 bench-smoke:
-	$(GO) test -bench 'Table1DecideOurs|StateSet' -benchtime 1x -benchmem -run '^$$' . ./internal/match
+	$(GO) test -bench 'Table1DecideOurs|StateSet|ScanMultiPattern' -benchtime 1x -benchmem -run '^$$' . ./internal/match
 
 # Short planarsiload smoke: boot the daemon, drive both arrival modes
 # for a couple of seconds, assert the latency report is sound.

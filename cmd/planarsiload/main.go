@@ -26,8 +26,13 @@
 // and alternates hit and miss patterns by -hit-frac: the hit pattern is
 // a 4-cycle (every grid cell), the miss a triangle (grids are
 // bipartite), so both the early-exit and the full-run-budget paths of
-// the pipeline are exercised. -register-grid registers the target grid
-// first; point -graph at an existing registered graph to skip it.
+// the pipeline are exercised. With -patterns N (N > 1) the hit/miss
+// pair is replaced by a family of N distinct motifs (cycles, paths and
+// stars of growing size) drawn uniformly per request — the
+// mixed-pattern workload that exercises the daemon's micro-batching and
+// the Index's multi-pattern sweeps across many (k, d) shapes.
+// -register-grid registers the target grid first; point -graph at an
+// existing registered graph to skip it.
 //
 // With -chaos the generator expects to be pointed at a daemon running
 // under fault injection (planarsid -fault): 500s and 503s stop counting
@@ -69,6 +74,7 @@ type config struct {
 	duration    time.Duration
 	mix         string
 	hitFrac     float64
+	patterns    int
 	seed        int64
 	out         string
 	chaos       bool
@@ -84,7 +90,8 @@ func main() {
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count (one in-flight request each)")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement duration per mode")
 	flag.StringVar(&cfg.mix, "mix", "decide=60,count=25,find=15", "operation weights")
-	flag.Float64Var(&cfg.hitFrac, "hit-frac", 0.5, "fraction of queries using the hit pattern (C4) vs the miss pattern (C3)")
+	flag.Float64Var(&cfg.hitFrac, "hit-frac", 0.5, "fraction of queries using the hit pattern (C4) vs the miss pattern (C3); ignored when -patterns > 1")
+	flag.IntVar(&cfg.patterns, "patterns", 1, "distinct patterns in the workload: 1 = the hit/miss pair by -hit-frac, N > 1 = a mixed motif family (cycles, paths, stars of growing size) drawn uniformly, superseding -hit-frac")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload random seed")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty = stdout)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: tally 500s (incidents) and 503s (unavailable) separately instead of as errors — for daemons running under -fault")
@@ -121,7 +128,7 @@ func main() {
 		Target:      cfg.addr,
 		Config: ReportConfig{
 			Graph: cfg.graphName, Grid: cfg.grid, Mix: cfg.mix,
-			HitFrac: cfg.hitFrac, RatePerSec: cfg.rate,
+			HitFrac: cfg.hitFrac, Patterns: cfg.patterns, RatePerSec: cfg.rate,
 			Concurrency: cfg.concurrency, DurationSec: cfg.duration.Seconds(),
 			Seed: cfg.seed,
 		},
@@ -201,6 +208,28 @@ type loader struct {
 	ops    []weightedOp
 	totalW int
 	bodies map[string][2][]byte // op -> {hit body, miss body}
+	// multi holds the -patterns N > 1 bodies: op -> N pre-encoded motif
+	// patterns, drawn uniformly per request instead of the hit/miss pair.
+	multi map[string][][]byte
+}
+
+// motif returns the i-th pattern of the mixed-family workload: cycles,
+// paths and stars of growing size, capped at the engine's pattern limit.
+// Even cycles hit on grid targets, odd-size stars and long paths stress
+// other shapes, so a family mixes hits and misses across (k, d) shapes.
+func motif(i int) *graph.Graph {
+	size := 4 + i/3
+	if size > 16 {
+		size = 16
+	}
+	switch i % 3 {
+	case 0:
+		return graph.Cycle(size)
+	case 1:
+		return graph.Path(size)
+	default:
+		return graph.Star(size - 1)
+	}
 }
 
 // prepare registers the grid when asked, checks the daemon is up, and
@@ -236,16 +265,29 @@ func (l *loader) prepare() error {
 	hit := serve.WireGraph(graph.Cycle(4))
 	miss := serve.WireGraph(graph.Cycle(3))
 	l.bodies = make(map[string][2][]byte)
+	if l.cfg.patterns > 1 {
+		l.multi = make(map[string][][]byte)
+	}
 	for _, op := range l.ops {
 		l.totalW += op.weight
 		hb, _ := json.Marshal(serve.QueryRequest{Graph: l.cfg.graphName, Pattern: &hit})
 		mb, _ := json.Marshal(serve.QueryRequest{Graph: l.cfg.graphName, Pattern: &miss})
 		l.bodies[op.name] = [2][]byte{hb, mb}
+		if l.multi != nil {
+			bodies := make([][]byte, l.cfg.patterns)
+			for i := range bodies {
+				wg := serve.WireGraph(motif(i))
+				bodies[i], _ = json.Marshal(serve.QueryRequest{Graph: l.cfg.graphName, Pattern: &wg})
+			}
+			l.multi[op.name] = bodies
+		}
 	}
 	return nil
 }
 
-// pick draws one (operation, body) pair from the mix.
+// pick draws one (operation, body) pair from the mix. With -patterns
+// N > 1 the body is drawn uniformly from the motif family; otherwise
+// the hit/miss pair is split by -hit-frac.
 func (l *loader) pick(rng *rand.Rand) (string, []byte) {
 	w := rng.Intn(l.totalW)
 	var op string
@@ -254,6 +296,10 @@ func (l *loader) pick(rng *rand.Rand) (string, []byte) {
 			op = o.name
 			break
 		}
+	}
+	if l.multi != nil {
+		bodies := l.multi[op]
+		return op, bodies[rng.Intn(len(bodies))]
 	}
 	i := 1 // miss
 	if rng.Float64() < l.cfg.hitFrac {
@@ -465,6 +511,7 @@ type ReportConfig struct {
 	Grid        string  `json:"grid,omitempty"`
 	Mix         string  `json:"mix"`
 	HitFrac     float64 `json:"hitFrac"`
+	Patterns    int     `json:"patterns,omitempty"`
 	RatePerSec  float64 `json:"ratePerSec"`
 	Concurrency int     `json:"concurrency"`
 	DurationSec float64 `json:"durationSec"`

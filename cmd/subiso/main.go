@@ -85,6 +85,19 @@ func main() {
 	ix := planarsi.NewIndex(g, opt)
 	batch := len(hs) > 1
 
+	// The Index dedupes isomorphic batch members internally; report the
+	// leverage so users see when their batch collapsed.
+	if batch {
+		distinct := make(map[string]struct{}, len(hs))
+		for _, h := range hs {
+			distinct[planarsi.CanonicalPatternKey(h)] = struct{}{}
+		}
+		if dup := len(hs) - len(distinct); dup > 0 {
+			fmt.Fprintf(os.Stderr, "subiso: %d of %d patterns are isomorphic duplicates (%d distinct); duplicates share one query\n",
+				dup, len(hs), len(distinct))
+		}
+	}
+
 	// Results are buffered and only printed once the whole batch has
 	// succeeded, so a failing pattern aborts with exit 2 and no partial
 	// output.

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"time"
+
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+)
+
+// Compiled-pattern cache: every pattern entering the Index is reduced to
+// its canonical form (match.CanonicalKey), and the derived query shape —
+// vertex count, connectivity, diameter — is memoized under that key.
+// Isomorphic patterns therefore share one compiled entry: the second
+// pattern of a batch that is a relabeling of the first skips the
+// Components/Diameter scans entirely, and batched scans use the key to
+// dedupe members before dispatching DP sweeps. The cache is bounded
+// (FIFO eviction at patternCacheCap entries) because pattern shapes are
+// query-side input, not target-side artifacts: an adversarial client
+// could otherwise grow it without limit.
+
+// patternCacheCap bounds the compiled-pattern cache.
+const patternCacheCap = 1024
+
+// compiledBytes approximates one cache entry's overhead beyond its key
+// (struct, map bucket and eviction-queue shares) for MemoStats.
+const compiledBytes = 64
+
+// compiled is one canonical pattern's memoized query shape.
+type compiled struct {
+	// key is the pattern's canonical form (match.CanonicalKey).
+	key string
+	// k is the vertex count; connected reports one component.
+	k         int
+	connected bool
+	// d is the pattern diameter, computed only for connected patterns
+	// with k >= 2 (the only shape the banded pipeline keys on).
+	d int
+}
+
+// compile canonicalizes the pattern h and returns its compiled shape,
+// building and caching it on first sight of the canonical form. It
+// returns nil for patterns the cache does not model (k = 0 or
+// k > match.MaxK); callers fall back to the per-pattern pipeline, which
+// classifies those itself. Safe for concurrent use.
+func (ix *Index) compile(h *graph.Graph) *compiled {
+	k := h.N()
+	if k == 0 || k > match.MaxK {
+		return nil
+	}
+	key := match.CanonicalKey(h)
+	ix.pmu.Lock()
+	c, ok := ix.patterns[key]
+	ix.pmu.Unlock()
+	ix.memo[memoPattern].touch(ok)
+	if ok {
+		return c
+	}
+	t0 := time.Now()
+	c = &compiled{key: key, k: k}
+	_, comps := graph.Components(h)
+	c.connected = comps == 1
+	if c.connected && k >= 2 {
+		c.d = graph.Diameter(h)
+	}
+	ix.memo[memoPattern].buildNanos.Add(time.Since(t0).Nanoseconds())
+	ix.pmu.Lock()
+	defer ix.pmu.Unlock()
+	if prev, ok := ix.patterns[key]; ok {
+		// A concurrent compile of an isomorphic pattern won the race; its
+		// entry is equivalent (both derive from the same canonical form).
+		return prev
+	}
+	if len(ix.patterns) >= patternCacheCap {
+		delete(ix.patterns, ix.porder[0])
+		ix.porder = ix.porder[1:]
+	}
+	ix.patterns[key] = c
+	ix.porder = append(ix.porder, key)
+	return c
+}

@@ -66,8 +66,12 @@ type Index struct {
 
 	// queries counts answered queries (one per pattern, including each
 	// pattern of a batched scan) for the Index's whole lifetime; Reset
-	// does not clear it.
+	// does not clear it. sweeps counts physical DP dispatches: a batched
+	// scan that groups p isomorphic patterns into one shared sweep adds p
+	// to queries but 1 to sweeps, so queries/sweeps measures batching
+	// leverage. Reset does not clear sweeps either.
 	queries atomic.Uint64
+	sweeps  atomic.Uint64
 
 	// memo holds the per-artifact-class cache-traffic counters behind
 	// MemoStats (hits, misses, build time); residency lives in the maps.
@@ -77,6 +81,12 @@ type Index struct {
 	clusters map[clusterKey]*clusterEntry
 	plain    map[coverKey]*coverEntry
 	sep      map[sepKey]*coverEntry
+
+	// pmu guards the compiled-pattern cache (see compile.go); porder is
+	// its FIFO eviction queue, oldest key first.
+	pmu      sync.Mutex
+	patterns map[string]*compiled
+	porder   []string
 }
 
 type clusterKey struct {
@@ -128,6 +138,7 @@ func New(g *graph.Graph, opt core.Options) *Index {
 		clusters: make(map[clusterKey]*clusterEntry),
 		plain:    make(map[coverKey]*coverEntry),
 		sep:      make(map[sepKey]*coverEntry),
+		patterns: make(map[string]*compiled),
 	}
 }
 
@@ -350,6 +361,7 @@ func (ix *Index) Decide(h *graph.Graph) (bool, error) {
 // context returns exactly what an unwatched Decide would.
 func (ix *Index) DecideCtx(ctx context.Context, h *graph.Graph) (bool, error) {
 	ix.queries.Add(1)
+	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
@@ -366,6 +378,7 @@ func (ix *Index) FindOccurrence(h *graph.Graph) (core.Occurrence, error) {
 // FindOccurrenceCtx is FindOccurrence honoring ctx (see DecideCtx).
 func (ix *Index) FindOccurrenceCtx(ctx context.Context, h *graph.Graph) (core.Occurrence, error) {
 	ix.queries.Add(1)
+	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
@@ -382,6 +395,7 @@ func (ix *Index) ListOccurrences(h *graph.Graph) ([]core.Occurrence, error) {
 // ListOccurrencesCtx is ListOccurrences honoring ctx (see DecideCtx).
 func (ix *Index) ListOccurrencesCtx(ctx context.Context, h *graph.Graph) ([]core.Occurrence, error) {
 	ix.queries.Add(1)
+	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
@@ -398,6 +412,7 @@ func (ix *Index) CountOccurrences(h *graph.Graph) (int, error) {
 // CountOccurrencesCtx is CountOccurrences honoring ctx (see DecideCtx).
 func (ix *Index) CountOccurrencesCtx(ctx context.Context, h *graph.Graph) (int, error) {
 	ix.queries.Add(1)
+	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
@@ -415,6 +430,7 @@ func (ix *Index) DecideSeparating(h *graph.Graph, s []bool) (core.Occurrence, er
 // DecideSeparatingCtx is DecideSeparating honoring ctx (see DecideCtx).
 func (ix *Index) DecideSeparatingCtx(ctx context.Context, h *graph.Graph, s []bool) (core.Occurrence, error) {
 	ix.queries.Add(1)
+	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
@@ -434,53 +450,212 @@ type ScanResult struct {
 	Err error
 }
 
-// Scan decides every pattern of the batch, running the queries
-// concurrently over the shared preprocessing. Results are positionally
-// aligned with patterns, and each equals what Decide would return for
-// that pattern alone. A cancelled or expired ctx stops the in-flight
-// dynamic programs of every pattern at their next checkpoint; affected
-// patterns carry the context's error in their ScanResult.Err.
+// Scan decides every pattern of the batch over the shared
+// preprocessing. Results are positionally aligned with patterns, and
+// each equals what Decide would return for that pattern alone. A
+// cancelled or expired ctx stops the in-flight dynamic programs of every
+// pattern at their next checkpoint; affected patterns carry the
+// context's error in their ScanResult.Err.
 //
-// Each pattern runs under its own panic Guard: a panic beneath one
-// member (carried off pool workers by par's scopes) becomes that
-// member's ScanResult.Err — a *QueryPanicError — and its batch-mates
-// still get their answers.
+// Batch members are canonicalized through the compiled-pattern cache:
+// isomorphic members dedupe into one query, and distinct connected
+// members sharing a (size, diameter) shape run as one multi-pattern DP
+// sweep — every decomposition is walked once for the whole group rather
+// than once per pattern (see Stats.Sweeps). Grouping never changes
+// answers: a deduped member gets the first isomorph's answer (Decide is
+// isomorphism-invariant), and the shared sweep maintains per-pattern
+// state sets identical to the solo runs'.
+//
+// Each pattern runs under a panic Guard: a panic beneath one member
+// (carried off pool workers by par's scopes) becomes that member's
+// ScanResult.Err — a *QueryPanicError — and its batch-mates still get
+// their answers. A panic inside a shared sweep costs only that sweep:
+// its group is retried pattern by pattern, so one poisoned member
+// cannot take down its shape-mates.
 func (ix *Index) Scan(ctx context.Context, patterns []*graph.Graph) []ScanResult {
+	return ix.scanBatch(ctx, patterns, false)
+}
+
+// ScanCount counts every pattern of the batch over the shared
+// preprocessing. Each result's Count (and Found = Count > 0) equals what
+// CountOccurrences would return for that pattern alone. Deduplication,
+// shared sweeps, cancellation and panic isolation behave as in Scan.
+func (ix *Index) ScanCount(ctx context.Context, patterns []*graph.Graph) []ScanResult {
+	return ix.scanBatch(ctx, patterns, true)
+}
+
+// scanUniq is one distinct canonical pattern of a batch: the first
+// member's original graph (so its answer is byte-identical to a solo
+// run) plus every batch position holding an isomorph of it.
+type scanUniq struct {
+	h       *graph.Graph
+	members []int
+}
+
+// scanShape keys group formation: connected batch members with equal
+// vertex count and diameter share prepared covers and decompositions,
+// so they can share one DP sweep.
+type scanShape struct {
+	k, d int
+}
+
+// scanBatch is the shared Scan/ScanCount engine. It compiles every
+// member (charging queries and the per-member fault point), dedupes
+// isomorphic members, groups the rest by (k, d) shape and dispatches
+// the resulting units — solo queries and multi-pattern group sweeps —
+// concurrently.
+func (ix *Index) scanBatch(ctx context.Context, patterns []*graph.Graph, count bool) []ScanResult {
 	out := make([]ScanResult, len(patterns))
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	par.ForGrain(0, len(patterns), 1, func(i int) {
+
+	// Phase 1: canonicalize sequentially. Each member is charged one
+	// query and passes one fault checkpoint here, whatever unit it later
+	// joins; a member that panics during compilation fails alone.
+	comps := make([]*compiled, len(patterns))
+	failed := make([]bool, len(patterns))
+	for i := range patterns {
 		ix.queries.Add(1)
 		err := Guard(func() error {
 			fault.Check(fault.QueryPanic)
-			found, err := core.DecideFrom(ix, ix.g, patterns[i], opt)
-			out[i].Found = found
-			return err
+			comps[i] = ix.compile(patterns[i])
+			return nil
 		})
-		out[i].Err = ctxErr(ctx, err)
+		if err != nil {
+			out[i].Err = ctxErr(ctx, err)
+			failed[i] = true
+		}
+	}
+
+	// Phase 2: classify. Members the group pipeline cannot model — too
+	// large or empty (nil compile), disconnected, k = 1, or trivially
+	// absent — go solo through the unbatched pipeline, which classifies
+	// them exactly as a singleton query would. The rest dedupe by
+	// canonical key and group by shape, preserving first-appearance
+	// order so dispatch is deterministic.
+	var solos []int
+	groups := make(map[scanShape][]*scanUniq)
+	uniqs := make(map[string]*scanUniq)
+	var order []scanShape
+	for i, c := range comps {
+		if failed[i] {
+			continue
+		}
+		if c == nil || !c.connected || c.k < 2 || c.k > ix.g.N() || patterns[i].M() > ix.g.M() {
+			solos = append(solos, i)
+			continue
+		}
+		if u, ok := uniqs[c.key]; ok {
+			u.members = append(u.members, i)
+			continue
+		}
+		u := &scanUniq{h: patterns[i], members: []int{i}}
+		uniqs[c.key] = u
+		sh := scanShape{c.k, c.d}
+		if len(groups[sh]) == 0 {
+			order = append(order, sh)
+		}
+		groups[sh] = append(groups[sh], u)
+	}
+
+	// Phase 3: dispatch all units concurrently — one per solo member,
+	// one per shape group.
+	units := make([]func(), 0, len(solos)+len(order))
+	for _, i := range solos {
+		i := i
+		units = append(units, func() {
+			ix.scanSolo(ctx, patterns[i], count, opt, &out[i])
+		})
+	}
+	for _, sh := range order {
+		us := groups[sh]
+		units = append(units, func() {
+			ix.scanGroup(ctx, us, count, opt, out)
+		})
+	}
+	par.ForGrain(0, len(units), 1, func(u int) {
+		units[u]()
 	})
 	return out
 }
 
-// ScanCount counts every pattern of the batch, running the queries
-// concurrently over the shared preprocessing. Each result's Count (and
-// Found = Count > 0) equals what CountOccurrences would return for that
-// pattern alone. Cancellation and panic isolation behave as in Scan.
-func (ix *Index) ScanCount(ctx context.Context, patterns []*graph.Graph) []ScanResult {
-	out := make([]ScanResult, len(patterns))
-	opt, stop := ix.queryOptions(ctx)
-	defer stop()
-	par.ForGrain(0, len(patterns), 1, func(i int) {
-		ix.queries.Add(1)
-		err := Guard(func() error {
-			fault.Check(fault.QueryPanic)
-			c, err := core.CountFrom(ix, ix.g, patterns[i], opt)
-			out[i].Found, out[i].Count = c > 0, c
+// scanSolo answers one pattern through the unbatched pipeline under its
+// own Guard, writing the result in place. The caller has already
+// charged the query and passed the fault checkpoint.
+func (ix *Index) scanSolo(ctx context.Context, h *graph.Graph, count bool, opt core.Options, res *ScanResult) {
+	ix.sweeps.Add(1)
+	err := Guard(func() error {
+		if count {
+			c, err := core.CountFrom(ix, ix.g, h, opt)
+			res.Found, res.Count = c > 0, c
 			return err
-		})
-		out[i].Err = ctxErr(ctx, err)
+		}
+		found, err := core.DecideFrom(ix, ix.g, h, opt)
+		res.Found = found
+		return err
 	})
-	return out
+	res.Err = ctxErr(ctx, err)
+}
+
+// scanGroup answers one shape group. A group with a single distinct
+// pattern takes the solo path verbatim; larger groups run one shared
+// multi-pattern sweep over the group's representatives. If the shared
+// sweep panics, the group decomposes into per-pattern solo queries so
+// one poisoned member cannot fail its shape-mates. Either way each
+// distinct pattern's answer is scattered to all of its isomorphs.
+func (ix *Index) scanGroup(ctx context.Context, us []*scanUniq, count bool, opt core.Options, out []ScanResult) {
+	if len(us) == 1 {
+		var res ScanResult
+		ix.scanSolo(ctx, us[0].h, count, opt, &res)
+		for _, m := range us[0].members {
+			out[m] = res
+		}
+		return
+	}
+	ix.sweeps.Add(1)
+	hs := make([]*graph.Graph, len(us))
+	for j, u := range us {
+		hs[j] = u.h
+	}
+	var founds []bool
+	var counts []int
+	err := Guard(func() error {
+		var err error
+		if count {
+			counts, err = core.CountGroupFrom(ix, ix.g, hs, opt)
+		} else {
+			founds, err = core.DecideGroupFrom(ix, ix.g, hs, opt)
+		}
+		return err
+	})
+	if errors.Is(err, ErrQueryPanic) {
+		for _, u := range us {
+			var res ScanResult
+			ix.scanSolo(ctx, u.h, count, opt, &res)
+			for _, m := range u.members {
+				out[m] = res
+			}
+		}
+		return
+	}
+	if err != nil {
+		err = ctxErr(ctx, err)
+		for _, u := range us {
+			for _, m := range u.members {
+				out[m].Err = err
+			}
+		}
+		return
+	}
+	for j, u := range us {
+		for _, m := range u.members {
+			if count {
+				out[m].Found, out[m].Count = counts[j] > 0, counts[j]
+			} else {
+				out[m].Found = founds[j]
+			}
+		}
+	}
 }
 
 // Prewarm materializes the full run budget of prepared covers for pattern
@@ -518,6 +693,12 @@ type Stats struct {
 	// Queries counts queries answered over the Index's lifetime (each
 	// pattern of a batched scan counts once); Reset does not clear it.
 	Queries uint64 `json:"queries"`
+	// Sweeps counts physical DP dispatches: a batched scan that groups p
+	// isomorphic patterns into one shared sweep adds p to Queries but 1
+	// to Sweeps, so Queries/Sweeps measures batching leverage. Singleton
+	// queries add 1 to both. Reset does not clear it, and snapshots
+	// persist it alongside Queries.
+	Sweeps uint64 `json:"sweeps"`
 }
 
 // Stats returns a snapshot of the Index's cache accounting. Only fully
@@ -527,6 +708,7 @@ func (ix *Index) Stats() Stats {
 	st := Stats{
 		GraphBytes: ix.g.MemBytes() + ix.embedBytes.Load(),
 		Queries:    ix.queries.Load(),
+		Sweeps:     ix.sweeps.Load(),
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -579,4 +761,8 @@ func (ix *Index) Reset() {
 	ix.plain = make(map[coverKey]*coverEntry)
 	ix.sep = make(map[sepKey]*coverEntry)
 	ix.mu.Unlock()
+	ix.pmu.Lock()
+	ix.patterns = make(map[string]*compiled)
+	ix.porder = nil
+	ix.pmu.Unlock()
 }

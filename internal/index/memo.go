@@ -14,10 +14,11 @@ const (
 	memoClustering = iota
 	memoPlainCover
 	memoSepCover
+	memoPattern
 	numMemoClasses
 )
 
-var memoClassNames = [numMemoClasses]string{"clustering", "cover", "separating"}
+var memoClassNames = [numMemoClasses]string{"clustering", "cover", "separating", "pattern"}
 
 // memoCounters is one artifact class's traffic counters.
 type memoCounters struct {
@@ -39,7 +40,8 @@ func (m *memoCounters) touch(hit bool) {
 type MemoStats struct {
 	// Class names the artifact class: "clustering" (ESTC clusterings),
 	// "cover" (plain prepared covers), "separating" (separating
-	// prepared covers).
+	// prepared covers), "pattern" (compiled patterns keyed by canonical
+	// form).
 	Class string `json:"class"`
 	// Hits counts accesses that found a fully built entry; Misses
 	// counts the rest (entry absent, still building, or past the run
@@ -58,7 +60,7 @@ type MemoStats struct {
 }
 
 // MemoStats snapshots the per-class memo-cache traffic and residency,
-// ordered clustering, cover, separating.
+// ordered clustering, cover, separating, pattern.
 func (ix *Index) MemoStats() []MemoStats {
 	out := make([]MemoStats, numMemoClasses)
 	for c := range out {
@@ -90,5 +92,11 @@ func (ix *Index) MemoStats() []MemoStats {
 			out[memoSepCover].Bytes += e.bytes
 		}
 	}
+	ix.pmu.Lock()
+	for key := range ix.patterns {
+		out[memoPattern].Entries++
+		out[memoPattern].Bytes += int64(len(key)) + compiledBytes
+	}
+	ix.pmu.Unlock()
 	return out
 }

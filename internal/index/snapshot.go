@@ -52,6 +52,7 @@ func (ix *Index) Snapshot() *snap.Snapshot {
 	s := &snap.Snapshot{
 		Options: configOnly(ix.opt),
 		Queries: ix.queries.Load(),
+		Sweeps:  ix.sweeps.Load(),
 		Graph:   ix.g,
 	}
 	ix.mu.Lock()
@@ -122,6 +123,7 @@ func (ix *Index) Save(w io.Writer) error {
 func FromSnapshot(s *snap.Snapshot) (*Index, error) {
 	ix := New(s.Graph, s.Options)
 	ix.queries.Store(s.Queries)
+	ix.sweeps.Store(s.Sweeps)
 	for _, ca := range s.Clusters {
 		key := clusterKey{ca.BetaBits, ca.Run}
 		if _, dup := ix.clusters[key]; dup {

@@ -1,0 +1,139 @@
+package match
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"planarsi/internal/graph"
+)
+
+// permuted returns a copy of h with vertices relabeled by a random
+// permutation — an isomorphic pattern with scrambled labels.
+func permuted(h *graph.Graph, rng *rand.Rand) *graph.Graph {
+	k := h.N()
+	perm := rng.Perm(k)
+	b := graph.NewBuilder(k)
+	for _, e := range h.Edges() {
+		b.AddEdge(int32(perm[e[0]]), int32(perm[e[1]]))
+	}
+	return b.Build()
+}
+
+// edgeSet renders a graph's edge set in a comparable normal form.
+func edgeSet(h *graph.Graph) [][2]int32 {
+	es := slices.Clone(h.Edges())
+	for i, e := range es {
+		if e[0] > e[1] {
+			es[i] = [2]int32{e[1], e[0]}
+		}
+	}
+	slices.SortFunc(es, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	return es
+}
+
+// TestCanonicalKeyIsomorphismInvariant: every random relabeling of a
+// pattern must map to the same key, and Canonicalize must produce the
+// same labeled graph for all of them.
+func TestCanonicalKeyIsomorphismInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 2026))
+	bases := []*graph.Graph{
+		graph.Cycle(3), graph.Cycle(4), graph.Cycle(7),
+		graph.Path(2), graph.Path(5), graph.Path(9),
+		graph.Star(4), graph.Star(8),
+		graph.Complete(4), graph.Complete(5),
+		graph.Grid(2, 3),
+	}
+	for trial := 0; trial < 40; trial++ {
+		bases = append(bases, randomPattern(2+rng.IntN(10), rng.IntN(5), rng))
+	}
+	for bi, h := range bases {
+		key := CanonicalKey(h)
+		ch, perm := Canonicalize(h)
+		if len(perm) != h.N() {
+			t.Fatalf("base %d: perm has %d entries, want %d", bi, len(perm), h.N())
+		}
+		// The canonical copy is a relabeling of h: same size, and its own
+		// key equals h's.
+		if ch.N() != h.N() || ch.M() != h.M() || CanonicalKey(ch) != key {
+			t.Fatalf("base %d: canonical copy is not key-stable", bi)
+		}
+		want := edgeSet(ch)
+		for r := 0; r < 6; r++ {
+			p := permuted(h, rng)
+			if got := CanonicalKey(p); got != key {
+				t.Fatalf("base %d relabeling %d: key %q != %q", bi, r, got, key)
+			}
+			cp, _ := Canonicalize(p)
+			if !slices.Equal(edgeSet(cp), want) {
+				t.Fatalf("base %d relabeling %d: canonical copies differ", bi, r)
+			}
+		}
+	}
+}
+
+// TestCanonicalKeyDistinguishesNonIsomorphic: same-size, pairwise
+// non-isomorphic patterns must all get distinct keys (equal keys always
+// denote isomorphic patterns — the soundness direction dedupe relies
+// on).
+func TestCanonicalKeyDistinguishesNonIsomorphic(t *testing.T) {
+	diamond := graph.NewBuilder(4)
+	diamond.AddEdge(0, 1)
+	diamond.AddEdge(0, 2)
+	diamond.AddEdge(1, 2)
+	diamond.AddEdge(1, 3)
+	diamond.AddEdge(2, 3)
+	paw := graph.NewBuilder(4) // triangle with a pendant
+	paw.AddEdge(0, 1)
+	paw.AddEdge(1, 2)
+	paw.AddEdge(0, 2)
+	paw.AddEdge(2, 3)
+	spider := graph.NewBuilder(6) // two trees of 6, non-isomorphic to Path/Star
+	spider.AddEdge(0, 1)
+	spider.AddEdge(1, 2)
+	spider.AddEdge(1, 3)
+	spider.AddEdge(3, 4)
+	spider.AddEdge(3, 5)
+
+	families := [][]*graph.Graph{
+		{graph.Cycle(4), graph.Path(4), graph.Star(4), graph.Complete(4), diamond.Build(), paw.Build()},
+		{graph.Cycle(5), graph.Path(5), graph.Star(5)},
+		{graph.Cycle(6), graph.Path(6), graph.Star(6), graph.Grid(2, 3), spider.Build()},
+	}
+	for fi, hs := range families {
+		seen := make(map[string]int)
+		for i, h := range hs {
+			key := CanonicalKey(h)
+			if j, dup := seen[key]; dup {
+				t.Fatalf("family %d: members %d and %d share key %q", fi, j, i, key)
+			}
+			seen[key] = i
+		}
+	}
+}
+
+// TestCanonicalKeyBudgetFallbackIsSound: refinement-resistant patterns
+// (complete graphs keep every vertex equivalent) may exhaust the search
+// budget, but the key must remain self-consistent — equal inputs equal
+// keys, and the key still embeds the right size.
+func TestCanonicalKeyBudgetFallbackIsSound(t *testing.T) {
+	h := graph.Complete(16)
+	k1, k2 := CanonicalKey(h), CanonicalKey(h)
+	if k1 != k2 {
+		t.Fatal("CanonicalKey is not deterministic")
+	}
+	if int(k1[0]) != 16 {
+		t.Fatalf("key size byte = %d, want 16", k1[0])
+	}
+	// Complete graphs are label-symmetric, so even the identity fallback
+	// gives relabelings the same key.
+	rng := rand.New(rand.NewPCG(3, 3))
+	if CanonicalKey(permuted(h, rng)) != k1 {
+		t.Fatal("relabeled complete graph got a different key")
+	}
+}

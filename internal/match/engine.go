@@ -119,36 +119,82 @@ func (r *Result) RecycleNode(i int32) {
 // The caller must hold the only reference (including States() slices).
 func (r *Result) Recycle(s *StateSet) { r.arena.put(s) }
 
+// nodeMeta is the pattern-independent per-node metadata of a (target,
+// decomposition) pair: the introduced/forgotten vertex's slot and the
+// introduce-node neighbor masks. It depends on G and ND only, so a
+// multi-pattern sweep computes it once and shares it (read-only) across
+// every pattern's engine.
+type nodeMeta struct {
+	nodeSlot []int32
+	introAdj []uint32
+}
+
+// buildNodeMeta computes the shared per-node metadata for (g, nd).
+func buildNodeMeta(g *graph.Graph, nd *treedecomp.Nice) nodeMeta {
+	n := nd.NumNodes()
+	m := nodeMeta{nodeSlot: make([]int32, n), introAdj: make([]uint32, n)}
+	for i := 0; i < n; i++ {
+		m.nodeSlot[i] = -1
+		switch nd.Kind[i] {
+		case treedecomp.Introduce:
+			v := nd.Vertex[i]
+			m.nodeSlot[i] = int32(nd.Slot(int32(i), v))
+			var mask uint32
+			for _, w := range g.Neighbors(v) {
+				if ws := nd.Slot(int32(i), w); ws >= 0 {
+					mask |= 1 << uint(ws)
+				}
+			}
+			m.introAdj[i] = mask
+		case treedecomp.Forget:
+			m.nodeSlot[i] = int32(nd.Slot(nd.Left[i], nd.Vertex[i]))
+		}
+	}
+	return m
+}
+
+// newEngineMeta builds one pattern's engine on top of shared node
+// metadata.
+func newEngineMeta(p *Problem, m nodeMeta) *Result {
+	r := &Result{p: p, pi: newPatternInfo(p.H)}
+	r.Sets = make([]*StateSet, p.ND.NumNodes())
+	r.nodeSlot = m.nodeSlot
+	r.introAdj = m.introAdj
+	return r
+}
+
 // NewEngine prepares a Result shell usable as a transition engine without
 // running the bottom-up DP (pmdag drives the transitions itself).
 func NewEngine(p *Problem) *Result {
 	if p.ND.Width+1 > MaxBag {
 		panic(fmt.Sprintf("match: bag size %d exceeds %d", p.ND.Width+1, MaxBag))
 	}
-	r := &Result{p: p, pi: newPatternInfo(p.H)}
-	nd := p.ND
-	n := nd.NumNodes()
-	r.Sets = make([]*StateSet, n)
-	r.nodeSlot = make([]int32, n)
-	r.introAdj = make([]uint32, n)
-	for i := 0; i < n; i++ {
-		r.nodeSlot[i] = -1
-		switch nd.Kind[i] {
-		case treedecomp.Introduce:
-			v := nd.Vertex[i]
-			r.nodeSlot[i] = int32(nd.Slot(int32(i), v))
-			var mask uint32
-			for _, w := range p.G.Neighbors(v) {
-				if ws := nd.Slot(int32(i), w); ws >= 0 {
-					mask |= 1 << uint(ws)
-				}
-			}
-			r.introAdj[i] = mask
-		case treedecomp.Forget:
-			r.nodeSlot[i] = int32(nd.Slot(nd.Left[i], nd.Vertex[i]))
+	return newEngineMeta(p, buildNodeMeta(p.G, p.ND))
+}
+
+// NewEngines prepares one engine per problem of a multi-pattern sweep.
+// All problems must share the same target graph and nice decomposition
+// (their H, Cancel, Cost and flags may differ); the pattern-independent
+// per-node metadata is computed once and shared read-only.
+func NewEngines(ps []*Problem) []*Result {
+	if len(ps) == 0 {
+		return nil
+	}
+	p0 := ps[0]
+	if p0.ND.Width+1 > MaxBag {
+		panic(fmt.Sprintf("match: bag size %d exceeds %d", p0.ND.Width+1, MaxBag))
+	}
+	for _, p := range ps[1:] {
+		if p.G != p0.G || p.ND != p0.ND {
+			panic("match: NewEngines requires problems sharing one target and decomposition")
 		}
 	}
-	return r
+	m := buildNodeMeta(p0.G, p0.ND)
+	rs := make([]*Result, len(ps))
+	for i, p := range ps {
+		rs[i] = newEngineMeta(p, m)
+	}
+	return rs
 }
 
 // Problem returns the instance this engine was built for.
@@ -180,80 +226,132 @@ func (r *Result) Found() bool {
 // per-node valid state sets.
 func Run(p *Problem, tr *wd.Tracker) *Result {
 	r := NewEngine(p)
-	nd := p.ND
-	var ji JoinIndex
+	runSequential([]*Result{r}, tr)
+	return r
+}
+
+// RunMulti executes the sequential bottom-up DP for several patterns in
+// one pass over the shared decomposition: the node traversal is walked
+// once, and each still-active pattern performs its own
+// introduce/forget/join at every node. Per-pattern state sets, emission
+// counts and cost flushes are byte-identical to len(ps) separate Run
+// calls — only the tree walk (and the NewEngines node metadata) is
+// shared. A pattern whose Cancel fires drops out of the sweep at its
+// next node checkpoint with a partial Result, exactly as a solo Run
+// would, without stopping its batch-mates.
+func RunMulti(ps []*Problem, tr *wd.Tracker) []*Result {
+	rs := NewEngines(ps)
+	runSequential(rs, tr)
+	return rs
+}
+
+// runSequential drives the bottom-up node loop for one or more engines
+// sharing a decomposition.
+func runSequential(rs []*Result, tr *wd.Tracker) {
+	if len(rs) == 0 {
+		return
+	}
+	nd := rs[0].p.ND
+	jis := make([]JoinIndex, len(rs))
+	alive := make([]bool, len(rs))
+	remaining := len(rs)
+	for x := range alive {
+		alive[x] = true
+	}
 	for _, i := range nd.Order {
-		if p.Cancel.Cancelled() {
-			// Partial: the caller observed Cancel and discards it. The
-			// single event marks where in the bottom-up order the run was
-			// abandoned.
-			p.Trace.Event("dp.cancel", -1, -1, "sequential engine abandoned at node checkpoint")
-			return r
+		if remaining == 0 {
+			break
 		}
-		var set *StateSet
-		// emitted batches this node's state emissions; one flush per node
-		// keeps atomics out of the per-emission path.
-		var emitted int64
-		switch nd.Kind[i] {
-		case treedecomp.Leaf:
-			set = r.arena.get(1)
-			set.Add(emptyState())
-		case treedecomp.Introduce:
-			child := r.Sets[nd.Left[i]]
-			set = r.arena.get(child.Len())
-			for _, cs := range child.States() {
-				r.IntroduceSuccessors(i, cs, func(s State, _ bool) {
-					set.Add(s)
-					emitted++
-				})
+		for x, r := range rs {
+			if !alive[x] {
+				continue
 			}
-		case treedecomp.Forget:
-			child := r.Sets[nd.Left[i]]
-			set = r.arena.get(child.Len())
-			for _, cs := range child.States() {
-				emitted++
-				if s, ok := r.ForgetSuccessor(i, cs); ok {
-					set.Add(s)
-				}
+			if r.p.Cancel.Cancelled() {
+				// Partial: the caller observed Cancel and discards this
+				// pattern's Result. The single event marks where in the
+				// bottom-up order the pattern's run was abandoned.
+				r.p.Trace.Event("dp.cancel", -1, -1, "sequential engine abandoned at node checkpoint")
+				alive[x] = false
+				remaining--
+				continue
 			}
-		case treedecomp.Join:
-			set = r.joinStep(r.Sets[nd.Left[i]], r.Sets[nd.Right[i]], &ji, &emitted)
-		}
-		r.Sets[i] = set
-		r.AddStatesGenerated(emitted)
-		if p.Cost != nil {
-			// Children are still resident here (DecideOnly recycles
-			// below), so their lengths price the states read.
-			var read int64
-			if l := nd.Left[i]; l >= 0 {
-				read += int64(r.Sets[l].Len())
-			}
-			if rt := nd.Right[i]; rt >= 0 {
-				read += int64(r.Sets[rt].Len())
-			}
-			c := obs.Cost{
-				Nodes:     1,
-				States:    int64(set.Len()),
-				Emissions: emitted,
-				Bytes:     (read + int64(set.Len())) * StateBytes,
-			}
-			if nd.Kind[i] == treedecomp.Join {
-				c.Joins = emitted
-			}
-			p.Cost.Add(c)
-		}
-		tr.AddPhaseWork("dp", int64(set.Len()))
-		if p.DecideOnly {
-			if l := nd.Left[i]; l >= 0 {
-				r.RecycleNode(l)
-			}
-			if rt := nd.Right[i]; rt >= 0 {
-				r.RecycleNode(rt)
-			}
+			r.runNode(i, &jis[x], tr)
 		}
 	}
-	tr.AddPhaseRounds("dp", int64(nd.NumNodes()))
-	return r
+	// A cancelled solo Run returns before its round flush; completed
+	// patterns flush the same per-run round count a solo Run would.
+	for x := range rs {
+		if alive[x] {
+			tr.AddPhaseRounds("dp", int64(nd.NumNodes()))
+		}
+	}
+}
+
+// runNode executes one pattern's bottom-up step at nice node i.
+func (r *Result) runNode(i int32, ji *JoinIndex, tr *wd.Tracker) {
+	p := r.p
+	nd := p.ND
+	var set *StateSet
+	// emitted batches this node's state emissions; one flush per node
+	// keeps atomics out of the per-emission path.
+	var emitted int64
+	switch nd.Kind[i] {
+	case treedecomp.Leaf:
+		set = r.arena.get(1)
+		set.Add(emptyState())
+	case treedecomp.Introduce:
+		child := r.Sets[nd.Left[i]]
+		set = r.arena.get(child.Len())
+		for _, cs := range child.States() {
+			r.IntroduceSuccessors(i, cs, func(s State, _ bool) {
+				set.Add(s)
+				emitted++
+			})
+		}
+	case treedecomp.Forget:
+		child := r.Sets[nd.Left[i]]
+		set = r.arena.get(child.Len())
+		for _, cs := range child.States() {
+			emitted++
+			if s, ok := r.ForgetSuccessor(i, cs); ok {
+				set.Add(s)
+			}
+		}
+	case treedecomp.Join:
+		set = r.joinStep(r.Sets[nd.Left[i]], r.Sets[nd.Right[i]], ji, &emitted)
+	}
+	r.Sets[i] = set
+	r.AddStatesGenerated(emitted)
+	if p.Cost != nil {
+		// Children are still resident here (DecideOnly recycles
+		// below), so their lengths price the states read.
+		var read int64
+		if l := nd.Left[i]; l >= 0 {
+			read += int64(r.Sets[l].Len())
+		}
+		if rt := nd.Right[i]; rt >= 0 {
+			read += int64(r.Sets[rt].Len())
+		}
+		c := obs.Cost{
+			Nodes:     1,
+			States:    int64(set.Len()),
+			Emissions: emitted,
+			Bytes:     (read + int64(set.Len())) * StateBytes,
+		}
+		if nd.Kind[i] == treedecomp.Join {
+			c.Joins = emitted
+		}
+		p.Cost.Add(c)
+	}
+	tr.AddPhaseWork("dp", int64(set.Len()))
+	if p.DecideOnly {
+		if l := nd.Left[i]; l >= 0 {
+			r.RecycleNode(l)
+		}
+		if rt := nd.Right[i]; rt >= 0 {
+			r.RecycleNode(rt)
+		}
+	}
 }
 
 // IntroduceSuccessors enumerates the parent states that child state cs of
@@ -386,31 +484,80 @@ func (r *Result) JoinCombine(ls, rs State) (State, bool) {
 	return combineJoin(&r.pi, ls, rs)
 }
 
+// joinBlock returns the word-parallel join compatibility mask of a C
+// set: c itself plus the union of its members' H-neighborhoods. A right
+// state rs (same signature) is join-compatible with a left state of C
+// set c exactly when joinBlock(c) & rs.C == 0 — the two C sets are
+// disjoint AND no H-edge connects them — so the per-state subset probe
+// of combineJoin (a loop over c's bits) collapses to one AND over the
+// packed C word, computed once per left state and amortized over its
+// whole signature bucket.
+func (pi *patternInfo) joinBlock(c uint16) uint16 {
+	b := c
+	for cl := c; cl != 0; cl &= cl - 1 {
+		b |= pi.adj[bits.TrailingZeros16(cl)]
+	}
+	return b
+}
+
+// JoinBlockMask exposes joinBlock for the path-DAG engine: the blocked-C
+// mask of a left state's C set, valid for any join partner with equal
+// signature.
+func (r *Result) JoinBlockMask(c uint16) uint16 { return r.pi.joinBlock(c) }
+
+// JoinCombineBlocked is JoinCombine with the left state's block mask
+// precomputed via JoinBlockMask; it performs the whole compatibility
+// check in one word operation.
+func (r *Result) JoinCombineBlocked(ls State, block uint16, rs *State) (State, bool) {
+	if block&rs.C != 0 {
+		return State{}, false
+	}
+	s := ls
+	s.C |= rs.C
+	s.IX = ls.IX || rs.IX
+	s.OX = ls.OX || rs.OX
+	return s, true
+}
+
 // joinStep combines the states of a join node's two children: the right
 // side is sorted by join signature into the reused JoinIndex, and every
 // left state scans its signature bucket. emitted accumulates one count
 // per attempted combination — the counting the path-DAG engine always
 // used; the old sequential joinStep counted successes only, and the two
 // measures are harmonized on attempts (the work actually performed) so
-// the engines' Lemma 3.1 counters are comparable.
+// the engines' Lemma 3.1 counters are comparable. The per-pair
+// compatibility test is the word-parallel joinBlock probe, accepting and
+// emitting exactly the states combineJoin would in the same order.
 func (r *Result) joinStep(left, right *StateSet, ji *JoinIndex, emitted *int64) *StateSet {
 	pi := &r.pi
 	ji.Build(right.States())
 	out := r.arena.get(left.Len())
 	for _, ls := range left.States() {
 		lo, hi := ji.Bucket(&ls)
+		if lo == hi {
+			continue
+		}
+		block := pi.joinBlock(ls.C)
 		for t := lo; t < hi; t++ {
 			*emitted++
-			if s, ok := combineJoin(pi, ls, *ji.At(t)); ok {
-				out.Add(s)
+			rs := ji.At(t)
+			if block&rs.C != 0 {
+				continue
 			}
+			s := ls
+			s.C |= rs.C
+			s.IX = ls.IX || rs.IX
+			s.OX = ls.OX || rs.OX
+			out.Add(s)
 		}
 	}
 	return out
 }
 
 // combineJoin merges compatible left/right states at a join (equal Phi and
-// labels are the caller's responsibility).
+// labels are the caller's responsibility). It is the bit-by-bit reference
+// the word-parallel joinBlock path must agree with (the equivalence tests
+// check this); JoinCombine keeps it as the public single-pair entry.
 func combineJoin(pi *patternInfo, ls, rs State) (State, bool) {
 	if ls.C&rs.C != 0 {
 		return State{}, false // a pattern vertex matched in both subtrees

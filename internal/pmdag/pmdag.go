@@ -75,6 +75,51 @@ func Run(p *match.Problem, tr *wd.Tracker) (*match.Result, *Stats) {
 	return RunConfig(p, Config{}, tr)
 }
 
+// RunMulti executes the path-DAG engine for several patterns sharing
+// one target and decomposition, walking the layered path decomposition
+// once: LayersParallel and Decompose — the per-(G, ND) work — run a
+// single time, then every (path, pattern) pair is processed in parallel
+// by the unchanged per-path pipeline. Each pattern's per-node state
+// sets, emission counts and cost flushes are byte-identical to a solo
+// Run; a pattern whose Cancel fires drops out at its next path
+// checkpoint (partial Result, one trace event) without stopping its
+// batch-mates. Per-pattern DAG stats are not aggregated (the decide
+// pipeline discards them).
+func RunMulti(ps []*match.Problem, tr *wd.Tracker) []*match.Result {
+	if len(ps) == 0 {
+		return nil
+	}
+	for _, p := range ps {
+		if p.Separating {
+			panic("pmdag: separating mode is handled by the sequential engine")
+		}
+	}
+	engs := match.NewEngines(ps)
+	nd := ps[0].ND
+	layers := treepath.LayersParallel(nd.Parent, tr)
+	pd := treepath.Decompose(nd.Parent, layers)
+	cancelTraced := make([]atomic.Bool, len(ps))
+	for _, pathIDs := range pd.PathsByLayer() {
+		ids := pathIDs
+		// Paths of a layer are independent for every pattern, and the
+		// patterns never share mutable state, so the (path, pattern)
+		// grid of one layer is a single flat parallel loop.
+		par.For(0, len(ids)*len(ps), func(t int) {
+			j, x := t/len(ps), t%len(ps)
+			p := ps[x]
+			if p.Cancel.Cancelled() {
+				if p.Trace != nil && !cancelTraced[x].Swap(true) {
+					p.Trace.Event("pmdag.cancel", -1, -1, "path-DAG engine abandoned at path checkpoint")
+				}
+				return
+			}
+			processPath(engs[x], pd.Paths[ids[j]], Config{}, tr)
+		})
+		tr.AddPhaseRounds("pmdag-layers", 1)
+	}
+	return engs
+}
+
 // RunConfig is Run with explicit engine configuration.
 func RunConfig(p *match.Problem, cfg Config, tr *wd.Tracker) (*match.Result, *Stats) {
 	if p.Separating {
@@ -171,10 +216,14 @@ func bottomStates(eng *match.Result, i int32, ji *match.JoinIndex, emitted, join
 		ji.Build(eng.Sets[nd.Right[i]].States())
 		for _, ls := range left.States() {
 			lo, hi := ji.Bucket(&ls)
+			if lo == hi {
+				continue
+			}
+			block := eng.JoinBlockMask(ls.C)
 			for t := lo; t < hi; t++ {
 				*emitted++
 				*joins++
-				if s, ok := eng.JoinCombine(ls, *ji.At(t)); ok {
+				if s, ok := eng.JoinCombineBlocked(ls, block, ji.At(t)); ok {
 					out.Add(s)
 				}
 			}
@@ -314,10 +363,14 @@ func processPath(eng *match.Result, path []int32, cfg Config, tr *wd.Tracker) pa
 			for li, s := range uni[j-1].States() {
 				src := offset[j-1] + int32(li)
 				lo, hi := ji.Bucket(&s)
+				if lo == hi {
+					continue
+				}
+				block := eng.JoinBlockMask(s.C)
 				for t := lo; t < hi; t++ {
 					emitted++
 					joins++
-					if w, ok := eng.JoinCombine(s, *ji.At(t)); ok {
+					if w, ok := eng.JoinCombineBlocked(s, block, ji.At(t)); ok {
 						addEdge(src, lookup(w), ji.At(t).C == 0)
 					}
 				}

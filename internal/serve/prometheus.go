@@ -120,6 +120,22 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 	writeGauge(b, "planarsi_pool_workers", "Live shared-pool worker count (0 when no pool is installed).", float64(pst.Workers))
 	writeGauge(b, "planarsi_pool_active_workers", "Workers not currently parked waiting for work.", float64(pst.Workers-pst.Parked))
 
+	// Query traffic per graph: queries counts logical patterns answered,
+	// sweeps counts physical DP dispatches — a batched scan that groups
+	// isomorphic or shape-equal patterns into one shared sweep answers
+	// many queries per sweep, so queries/sweeps measures batching
+	// leverage. rst.Graphs comes back sorted by name.
+	writeHeader(b, "planarsi_index_queries_total",
+		"Queries answered per graph over the Index's lifetime (each pattern of a batched scan counts once).", "counter")
+	for _, gi := range rst.Graphs {
+		writeSample(b, "planarsi_index_queries_total", `graph="`+gi.Name+`"`, float64(gi.Index.Queries))
+	}
+	writeHeader(b, "planarsi_index_sweeps_total",
+		"Physical DP sweeps dispatched per graph; batched scans answer multiple queries per sweep.", "counter")
+	for _, gi := range rst.Graphs {
+		writeSample(b, "planarsi_index_sweeps_total", `graph="`+gi.Name+`"`, float64(gi.Index.Sweeps))
+	}
+
 	// Memo-cache traffic per (graph, artifact class). rst.Graphs comes
 	// back sorted by name and each Memo slice is in fixed class order,
 	// keeping the exposition deterministic.

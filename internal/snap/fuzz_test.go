@@ -42,7 +42,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
 		}
-		if s.Name != s2.Name || s.Queries != s2.Queries || !s.Options.SameConfig(s2.Options) ||
+		if s.Name != s2.Name || s.Queries != s2.Queries || s.Sweeps != s2.Sweeps || !s.Options.SameConfig(s2.Options) ||
 			!reflect.DeepEqual(s.Graph, s2.Graph) ||
 			len(s.Clusters) != len(s2.Clusters) || len(s.Plain) != len(s2.Plain) || len(s.Sep) != len(s2.Sep) {
 			t.Fatalf("round trip through re-encode changed the snapshot")

@@ -55,8 +55,9 @@ const magic = "PLSISNAP"
 
 // Version is the current snapshot format version. Readers reject other
 // versions outright: artifacts are cheap to rebuild relative to the risk
-// of misinterpreting a foreign layout.
-const Version uint32 = 1
+// of misinterpreting a foreign layout. Version 2 added the lifetime
+// sweep counter to the meta section.
+const Version uint32 = 2
 
 // Section tags, in their mandatory file order.
 const (

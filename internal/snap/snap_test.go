@@ -35,6 +35,7 @@ func makeSnapshot(t testing.TB, r, c, k, d int) *Snapshot {
 		Pinned:  true,
 		Options: opt,
 		Queries: 42,
+		Sweeps:  17,
 		Graph:   g,
 		Clusters: []ClusterArtifact{{
 			BetaBits: math.Float64bits(beta), Run: 0, Bytes: cl.MemBytes(), C: cl,
@@ -70,8 +71,8 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
-	if got.Name != s.Name || got.Pinned != s.Pinned || got.Queries != s.Queries {
-		t.Errorf("identity fields differ: %q/%v/%d", got.Name, got.Pinned, got.Queries)
+	if got.Name != s.Name || got.Pinned != s.Pinned || got.Queries != s.Queries || got.Sweeps != s.Sweeps {
+		t.Errorf("identity fields differ: %q/%v/%d/%d", got.Name, got.Pinned, got.Queries, got.Sweeps)
 	}
 	if !got.Options.SameConfig(s.Options) {
 		t.Errorf("options differ: %+v vs %+v", got.Options, s.Options)

@@ -46,6 +46,7 @@ type Snapshot struct {
 	Pinned  bool
 	Options core.Options
 	Queries uint64
+	Sweeps  uint64
 	Graph   *graph.Graph
 
 	Clusters []ClusterArtifact
@@ -392,6 +393,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	}
 	encodeOptions(&e, s.Options)
 	e.u64(s.Queries)
+	e.u64(s.Sweeps)
 	if err := writeSection(w, tagMeta, e.b); err != nil {
 		return err
 	}
@@ -463,6 +465,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	pinned := d.u8()
 	s.Options = decodeOptions(d)
 	s.Queries = d.u64()
+	s.Sweeps = d.u64()
 	if pinned > 1 {
 		d.fail("bad pinned flag %d", pinned)
 	}

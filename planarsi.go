@@ -89,6 +89,7 @@ import (
 	"planarsi/internal/core"
 	"planarsi/internal/graph"
 	"planarsi/internal/index"
+	"planarsi/internal/match"
 	"planarsi/internal/planarity"
 	"planarsi/internal/treedecomp"
 	"planarsi/internal/wd"
@@ -244,6 +245,29 @@ func NewIndex(g *Graph, opt Options) *Index {
 // error, never a panic.
 func LoadIndex(r io.Reader) (*Index, error) {
 	return index.Load(r)
+}
+
+// CanonicalPattern returns a canonically relabeled copy of the pattern
+// h: isomorphic patterns (up to MaxPatternSize vertices) yield
+// identical copies, so the result serves as a canonical representative
+// for deduplication. The Index canonicalizes internally — batched scans
+// dedupe isomorphic members and share compiled pattern entries
+// automatically — so this is for clients that want to dedupe or key on
+// patterns themselves. For rare refinement-resistant patterns an
+// internal search budget may keep the input labeling; the result is
+// then still isomorphic to h, merely not cross-labeling canonical.
+func CanonicalPattern(h *Graph) *Graph {
+	c, _ := match.Canonicalize(h)
+	return c
+}
+
+// CanonicalPatternKey returns the canonical form of the pattern h as an
+// opaque comparable string: isomorphic patterns map to equal keys, and
+// equal keys always denote isomorphic patterns (with the same budget
+// caveat as CanonicalPattern — equal keys remain sound regardless).
+// This is the key the Index's compiled-pattern cache uses internally.
+func CanonicalPatternKey(h *Graph) string {
+	return match.CanonicalKey(h)
 }
 
 // VerifyOccurrence checks that occ is an injective map from h's vertices
