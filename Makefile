@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet build test race bench bench-index bench-serve bench-engines benchstat bench-smoke bench-load serve-smoke chaos-smoke fuzz-gio fuzz-snap
+.PHONY: check ci lint vet build test race coverage bench bench-index bench-serve bench-engines benchstat bench-smoke bench-load serve-smoke chaos-smoke mutation-smoke fuzz-gio fuzz-snap fuzz-edits
 
 check: lint build test race
 
@@ -36,6 +36,11 @@ test:
 
 race:
 	$(GO) test -race -short ./internal/index ./internal/core ./internal/par ./internal/match ./internal/pmdag ./internal/serve ./internal/obs
+
+# Full-suite coverage profile with a ratcheted floor (see the script for
+# the ratchet policy). CI uploads coverage.out as an artifact.
+coverage:
+	./scripts/coverage-check.sh coverage.out
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -70,6 +75,14 @@ serve-smoke:
 chaos-smoke:
 	RACE=$(RACE) ./scripts/chaos-smoke.sh
 
+# Boot the daemon, stream edit batches at a live graph under concurrent
+# planarsiload traffic, and prove the incremental index honest: answers
+# byte-identical to a fresh build on the mutated edge list, and band
+# invalidations strictly below the full-rebuild count. RACE=1 builds the
+# daemon with -race.
+mutation-smoke:
+	RACE=$(RACE) ./scripts/mutation-smoke.sh
+
 # Fuzz budget per target: 30s is the quick local pass; the nightly
 # workflow overrides it (make fuzz-gio FUZZTIME=10m).
 FUZZTIME ?= 30s
@@ -82,6 +95,12 @@ fuzz-gio:
 # panic or over-allocate), and inputs that decode must round-trip.
 fuzz-snap:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME) ./internal/snap
+
+# Fuzz the live-graph edit path: random toggle batches must either apply
+# (epoch +1) or reject cleanly (epoch unchanged), and the mutated index
+# must answer exactly like a fresh build on the same graph.
+fuzz-edits:
+	$(GO) test -run '^$$' -fuzz FuzzApplyEdits -fuzztime $(FUZZTIME) ./internal/index
 
 # benchstat-ready runs of the perf-tracked benchmarks: the Table 1
 # decision pipeline (root package) and the flat state-set

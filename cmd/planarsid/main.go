@@ -12,6 +12,15 @@
 //	                        or {"n":..,"edges":[[u,v],..]} as JSON)
 //	GET    /graphs          list registered graphs with cache stats
 //	DELETE /graphs/{name}   remove a graph
+//	POST   /graphs/{name}/edges
+//	                        apply an edit batch {"add":[[u,v],..],
+//	                        "remove":[[u,v],..]} to a live graph,
+//	                        advancing its edit epoch; optional
+//	                        "ifEpoch" (409 on mismatch) and
+//	                        "requirePlanar" (422 if planarity would be
+//	                        lost). Unaffected cached artifacts are
+//	                        retained; in-flight queries finish against
+//	                        the pre-edit graph.
 //	POST   /decide          {"graph":"g","pattern":{...}} -> {"found":..}
 //	POST   /count           like decide, plus "count"
 //	POST   /find            one witness occurrence, if any

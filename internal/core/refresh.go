@@ -1,0 +1,95 @@
+package core
+
+// Incremental refresh: rebuilding a prepared cover after an edge edit
+// without re-paying the tree decompositions of untouched bands.
+//
+// The cover geometry (which vertices land in which band) is cheap — one
+// in-cluster BFS per cluster, linear total work — while the band
+// decompositions dominate preprocessing cost. RefreshPrepared therefore
+// always recomputes the geometry on the edited graph, then walks the new
+// bands and reuses the old PreparedBand (band pointer, nice
+// decomposition, width, fallback flag) for every band whose content is
+// bit-identical to its predecessor (cover.Band.Equal, which includes
+// graph.Equal on the band graph). A band that changed in any way — or is
+// new — is decomposed exactly as prepare would.
+//
+// Because reuse requires bit-identity and treedecomp.Build is
+// deterministic in its input graph, the refreshed cover is
+// indistinguishable from PrepareFromClustering run fresh on the edited
+// graph: same bands, same decompositions, same bytes. The kept/rebuilt
+// counts only describe where the work went.
+
+import (
+	"sync/atomic"
+
+	"planarsi/internal/cover"
+	"planarsi/internal/estc"
+	"planarsi/internal/graph"
+	"planarsi/internal/match"
+	"planarsi/internal/par"
+	"planarsi/internal/treedecomp"
+)
+
+// RefreshPrepared rebuilds the plain prepared cover for pattern shape
+// (k, d) on the edited graph g, reusing the decompositions of old's bands
+// that survive unchanged. cl must be the clustering the refreshed cover
+// is induced by (the caller decides whether that clustering itself was
+// kept or rebuilt). Returns the refreshed cover plus how many bands were
+// kept and how many were decomposed anew.
+func RefreshPrepared(g *graph.Graph, cl *estc.Clustering, old *PreparedCover, k, d int, opt Options) (*PreparedCover, int, int) {
+	cov := cover.FromClustering(g, cl, cover.Params{K: k, D: d, Beta: opt.Beta}, opt.Tracker)
+	return refresh(cov, old, opt)
+}
+
+// RefreshPreparedSeparating is RefreshPrepared for separating covers
+// (terminal mask s over the original vertex ids). Separating bands are
+// minors of the whole graph, so any edit anywhere can change any band's
+// contracted complement — the bit-identity check handles that
+// automatically: only truly untouched minors are reused.
+func RefreshPreparedSeparating(g *graph.Graph, cl *estc.Clustering, s []bool, old *PreparedCover, k, d int, opt Options) (*PreparedCover, int, int) {
+	cov := cover.SeparatingFromClustering(g, cl, s, cover.Params{K: k, D: d, Beta: opt.Beta}, opt.Tracker)
+	return refresh(cov, old, opt)
+}
+
+// refresh decomposes cov's bands in parallel, reusing old's prepared
+// bands where content matches. Old bands are indexed by (cluster, level)
+// — the band identity within one clustering — and matched against the
+// new geometry; the Equal check then decides reuse.
+func refresh(cov *cover.Cover, old *PreparedCover, opt Options) (*PreparedCover, int, int) {
+	type bandID struct{ cluster, level int32 }
+	prev := make(map[bandID]*PreparedBand, len(old.Bands))
+	for i := range old.Bands {
+		if pb := &old.Bands[i]; pb.Band != nil {
+			prev[bandID{pb.Band.Cluster, pb.Band.Level}] = pb
+		}
+	}
+	pc := &PreparedCover{Cover: cov, Bands: make([]PreparedBand, len(cov.Bands))}
+	var kept, rebuilt atomic.Int64
+	par.ForGrain(0, len(cov.Bands), 1, func(i int) {
+		injectBandFaults()
+		if opt.Cancel.Cancelled() {
+			return
+		}
+		b := cov.Bands[i]
+		if pb, ok := prev[bandID{b.Cluster, b.Level}]; ok && pb.Band.Equal(b) {
+			// Share the old band object outright so entries kept across
+			// a generation keep their exact pointers (and snapshot
+			// encoders see one band, not two equal copies).
+			cov.Bands[i] = pb.Band
+			pc.Bands[i] = *pb
+			kept.Add(1)
+			return
+		}
+		td := treedecomp.Build(b.G, opt.Heuristic)
+		nd := treedecomp.MakeNice(td)
+		pb := PreparedBand{Band: b, Width: td.Width()}
+		if nd.Width+1 > match.MaxBag {
+			pb.Fallback = true
+		} else {
+			pb.ND = nd
+		}
+		pc.Bands[i] = pb
+		rebuilt.Add(1)
+	})
+	return pc, int(kept.Load()), int(rebuilt.Load())
+}

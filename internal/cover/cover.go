@@ -25,6 +25,7 @@ package cover
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"planarsi/internal/bfs"
 	"planarsi/internal/estc"
@@ -86,6 +87,27 @@ func (b *Band) Validate(n int) error {
 		return fmt.Errorf("cover: negative cluster %d or level %d", b.Cluster, b.Level)
 	}
 	return nil
+}
+
+// Equal reports whether two bands are bit-identical: same identity
+// (cluster, level), same vertex mapping and marks, and the same band
+// graph down to adjacency order (graph.Equal). Incremental invalidation
+// reuses a band's tree decomposition across graph generations exactly
+// when Equal holds, which makes the reuse indistinguishable from a fresh
+// rebuild.
+func (b *Band) Equal(o *Band) bool {
+	if b == o {
+		return true
+	}
+	if b == nil || o == nil {
+		return false
+	}
+	return b.Cluster == o.Cluster && b.Level == o.Level &&
+		slices.Equal(b.Orig, o.Orig) &&
+		slices.Equal(b.Allowed, o.Allowed) &&
+		slices.Equal(b.S, o.S) &&
+		slices.Equal(b.LowestLevelLocal, o.LowestLevelLocal) &&
+		graph.Equal(b.G, o.G)
 }
 
 // MemBytes returns the approximate heap footprint of the band in bytes:

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sync/atomic"
 
 	"planarsi/internal/graph"
@@ -43,6 +44,23 @@ type Clustering struct {
 
 // NumClusters returns the number of clusters.
 func (c *Clustering) NumClusters() int { return len(c.Center) }
+
+// Equal reports whether two clusterings are identical: same owners, same
+// centers, same round count. Incremental invalidation uses it to decide
+// whether a clustering memoized for an earlier graph generation can keep
+// serving after an edit — equality here guarantees every artifact derived
+// from the clustering is bit-identical to a fresh rebuild.
+func (c *Clustering) Equal(o *Clustering) bool {
+	if c == o {
+		return true
+	}
+	if c == nil || o == nil {
+		return false
+	}
+	return c.Rounds == o.Rounds &&
+		slices.Equal(c.Owner, o.Owner) &&
+		slices.Equal(c.Center, o.Center)
+}
 
 // MemBytes returns the approximate heap footprint of the clustering in
 // bytes (cache accounting for the serving layer's memory budget).

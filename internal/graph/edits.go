@@ -1,0 +1,118 @@
+package graph
+
+// Edge edits. Graphs stay immutable: WithEdits derives a new Graph from
+// an existing one by removing and adding undirected edges over the same
+// vertex set. The derivation is deterministic in a way callers rely on
+// for byte-identical rebuild checks: surviving adjacency entries keep
+// their relative order, and added edges are appended endpoint-by-endpoint
+// in batch order — exactly what Builder.AddEdge would do. A graph edited
+// from an edge-list build is therefore bit-identical (same CSR arrays) to
+// a fresh build from the surviving edges, in their original order,
+// followed by the additions.
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// ErrEdit is the sentinel wrapped by every edit-validation failure:
+// out-of-range vertex ids, self-loops, removing an absent edge, adding a
+// present one, or duplicate entries within a batch. Callers distinguish
+// a rejected batch (errors.Is(err, ErrEdit)) from internal failures.
+var ErrEdit = errors.New("graph: invalid edit")
+
+// normEdge validates one edit pair against an n-vertex graph and returns
+// it with endpoints ordered u < v (the canonical undirected key).
+func normEdge(e [2]int32, n int32, op string) ([2]int32, error) {
+	u, v := e[0], e[1]
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return [2]int32{}, fmt.Errorf("%w: %s {%d,%d}: vertex outside [0,%d)", ErrEdit, op, u, v, n)
+	}
+	if u == v {
+		return [2]int32{}, fmt.Errorf("%w: %s {%d,%d}: self-loop", ErrEdit, op, u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}, nil
+}
+
+// WithEdits returns a new graph over the same vertex set with the given
+// undirected edges removed and added. Every removal must name a present
+// edge and every addition an absent one (an edge removed earlier in the
+// same batch may be re-added); duplicates within either list are
+// rejected. On any validation failure the receiver is untouched and the
+// error wraps ErrEdit.
+//
+// The result carries no embedding or coordinates: edge edits invalidate
+// rotation systems, so callers re-embed on demand.
+func (g *Graph) WithEdits(add, remove [][2]int32) (*Graph, error) {
+	n := int32(g.N())
+	removed := make(map[[2]int32]bool, len(remove))
+	for _, e := range remove {
+		key, err := normEdge(e, n, "remove")
+		if err != nil {
+			return nil, err
+		}
+		if !g.HasEdge(key[0], key[1]) {
+			return nil, fmt.Errorf("%w: remove {%d,%d}: edge not present", ErrEdit, e[0], e[1])
+		}
+		if removed[key] {
+			return nil, fmt.Errorf("%w: remove {%d,%d}: duplicate removal", ErrEdit, e[0], e[1])
+		}
+		removed[key] = true
+	}
+	added := make(map[[2]int32]bool, len(add))
+	for _, e := range add {
+		key, err := normEdge(e, n, "add")
+		if err != nil {
+			return nil, err
+		}
+		if g.HasEdge(key[0], key[1]) && !removed[key] {
+			return nil, fmt.Errorf("%w: add {%d,%d}: edge already present", ErrEdit, e[0], e[1])
+		}
+		if added[key] {
+			return nil, fmt.Errorf("%w: add {%d,%d}: duplicate addition", ErrEdit, e[0], e[1])
+		}
+		added[key] = true
+	}
+
+	adj := make([][]int32, n)
+	for v := int32(0); v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			key := [2]int32{v, w}
+			if w < v {
+				key = [2]int32{w, v}
+			}
+			if !removed[key] {
+				adj[v] = append(adj[v], w)
+			}
+		}
+	}
+	for _, e := range add {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	b := &Builder{adj: adj}
+	return b.build(false, nil, nil), nil
+}
+
+// Equal reports whether two graphs are bit-identical: same CSR arrays,
+// same embedded flag, same coordinates. This is stronger than
+// isomorphism — even adjacency order must match — which is exactly the
+// invariant incremental invalidation needs to reuse artifacts built from
+// an earlier generation.
+func Equal(a, b *Graph) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.embedded == b.embedded &&
+		slices.Equal(a.off, b.off) &&
+		slices.Equal(a.adj, b.adj) &&
+		slices.Equal(a.x, b.x) &&
+		slices.Equal(a.y, b.y)
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func pathGraph(n int) *Graph {
+	edges := make([][2]int32, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return FromEdges(n, edges)
+}
+
+func TestWithEditsAddRemove(t *testing.T) {
+	g := pathGraph(5) // 0-1-2-3-4
+	g2, err := g.WithEdits([][2]int32{{0, 4}, {1, 3}}, [][2]int32{{2, 3}})
+	if err != nil {
+		t.Fatalf("WithEdits: %v", err)
+	}
+	if g2.N() != 5 || g2.M() != 5 {
+		t.Fatalf("got n=%d m=%d, want n=5 m=5", g2.N(), g2.M())
+	}
+	if g2.HasEdge(2, 3) {
+		t.Fatal("removed edge {2,3} still present")
+	}
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {3, 4}, {0, 4}, {1, 3}} {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge {%d,%d} missing", e[0], e[1])
+		}
+	}
+	// The receiver is untouched.
+	if !g.HasEdge(2, 3) || g.HasEdge(0, 4) {
+		t.Fatal("WithEdits mutated its receiver")
+	}
+}
+
+// The determinism contract: editing an edge-list build equals a fresh
+// build from the surviving edges (original order) plus the additions.
+func TestWithEditsMatchesFreshBuild(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
+	g := FromEdges(4, edges)
+	g2, err := g.WithEdits([][2]int32{{1, 3}}, [][2]int32{{0, 2}})
+	if err != nil {
+		t.Fatalf("WithEdits: %v", err)
+	}
+	fresh := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}})
+	if !Equal(g2, fresh) {
+		t.Fatalf("edited graph differs from fresh build:\n edited: %v %v\n fresh:  %v %v",
+			g2.off, g2.adj, fresh.off, fresh.adj)
+	}
+}
+
+func TestWithEditsRemoveThenReAdd(t *testing.T) {
+	g := pathGraph(3)
+	g2, err := g.WithEdits([][2]int32{{0, 1}}, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatalf("remove+re-add of the same edge should be allowed: %v", err)
+	}
+	if !g2.HasEdge(0, 1) || g2.M() != g.M() {
+		t.Fatal("re-added edge missing")
+	}
+	// The re-added edge moves to the tail of each endpoint's adjacency,
+	// matching a fresh build with that edge last.
+	fresh := FromEdges(3, [][2]int32{{1, 2}, {0, 1}})
+	if !Equal(g2, fresh) {
+		t.Fatal("re-add did not match fresh build ordering")
+	}
+}
+
+func TestWithEditsRejections(t *testing.T) {
+	g := pathGraph(4)
+	cases := []struct {
+		name        string
+		add, remove [][2]int32
+	}{
+		{"add existing", [][2]int32{{0, 1}}, nil},
+		{"add existing reversed", [][2]int32{{1, 0}}, nil},
+		{"add self-loop", [][2]int32{{2, 2}}, nil},
+		{"add out of range", [][2]int32{{0, 9}}, nil},
+		{"add negative", [][2]int32{{-1, 2}}, nil},
+		{"add duplicate", [][2]int32{{0, 2}, {2, 0}}, nil},
+		{"remove absent", nil, [][2]int32{{0, 3}}},
+		{"remove out of range", nil, [][2]int32{{0, 4}}},
+		{"remove duplicate", nil, [][2]int32{{0, 1}, {1, 0}}},
+		{"remove self-loop", nil, [][2]int32{{1, 1}}},
+	}
+	for _, tc := range cases {
+		g2, err := g.WithEdits(tc.add, tc.remove)
+		if err == nil {
+			t.Errorf("%s: expected error, got graph %v", tc.name, g2)
+			continue
+		}
+		if !errors.Is(err, ErrEdit) {
+			t.Errorf("%s: error %v does not wrap ErrEdit", tc.name, err)
+		}
+	}
+}
+
+func TestWithEditsDropsEmbedding(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.BuildEmbedded([]float64{0, 1, 2}, []float64{0, 1, 0})
+	if !g.Embedded() {
+		t.Fatal("setup: graph should be embedded")
+	}
+	g2, err := g.WithEdits([][2]int32{{0, 2}}, nil)
+	if err != nil {
+		t.Fatalf("WithEdits: %v", err)
+	}
+	if g2.Embedded() {
+		t.Fatal("edited graph must not claim an embedding")
+	}
+	if x, y := g2.Coords(1); x != 0 || y != 0 {
+		t.Fatal("edited graph must not carry coordinates")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := pathGraph(4)
+	b := pathGraph(4)
+	if !Equal(a, b) {
+		t.Fatal("identical builds must be Equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) || Equal(nil, b) {
+		t.Fatal("nil handling")
+	}
+	// Same edge set, different insertion order => different adjacency
+	// order => not Equal.
+	c := FromEdges(4, [][2]int32{{2, 3}, {1, 2}, {0, 1}})
+	if Equal(a, c) {
+		t.Fatal("Equal must distinguish adjacency order")
+	}
+	d, err := a.WithEdits([][2]int32{{0, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equal(a, d) {
+		t.Fatal("Equal must distinguish edge sets")
+	}
+}

@@ -117,13 +117,16 @@ func TestMemoStats(t *testing.T) {
 	}
 
 	cold := byClass()
-	if len(cold) != 4 {
-		t.Fatalf("MemoStats classes = %d, want 4", len(cold))
+	if len(cold) != 5 {
+		t.Fatalf("MemoStats classes = %d, want 5", len(cold))
 	}
-	for _, class := range []string{"clustering", "cover", "separating", "pattern"} {
+	for _, class := range []string{"clustering", "cover", "separating", "pattern", "epoch"} {
 		if _, ok := cold[class]; !ok {
 			t.Fatalf("missing class %q in %+v", class, cold)
 		}
+	}
+	if cold["epoch"].Entries != 1 {
+		t.Fatalf("quiescent index should report one live generation: %+v", cold["epoch"])
 	}
 
 	h := graph.Cycle(4)

@@ -1,0 +1,271 @@
+package index
+
+// Live-graph mutation: ApplyEdits applies a batch of edge insertions and
+// deletions to the Index's target, advancing it to a new generation
+// (epoch + 1) whose artifact tables are migrated copy-on-write from the
+// old one.
+//
+// Migration is surgical but answer-preserving. For every completed memo
+// entry the cheap geometry is recomputed on the edited graph —
+// clusterings are a pure function of (Seed, stream, run) and O(n) to
+// rebuild, cover band-cutting is one BFS per cluster — and diffed
+// against the old generation. The expensive artifacts (the nice tree
+// decompositions of the bands) are reused exactly when their band is
+// bit-identical to its predecessor, rebuilt otherwise. An entry whose
+// every part survived keeps its old pointer outright, so its snapshot
+// bytes are verbatim those of the previous generation. Because reuse
+// requires bit-identity and every rebuild follows the fresh-build code
+// path, the migrated generation is indistinguishable from an Index built
+// from scratch on the edited graph: same artifacts, same answers, same
+// snapshot bytes.
+//
+// In-flight queries are never disturbed: they pinned the old generation
+// and drain against it (see generation.go); the swap only decides what
+// later queries see.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"planarsi/internal/core"
+	"planarsi/internal/estc"
+	"planarsi/internal/planarity"
+)
+
+// ErrEpochConflict is returned by ApplyEdits when the batch named an
+// IfEpoch that is no longer the Index's current epoch — a concurrent
+// editor won the race. The serving layer maps it to HTTP 409.
+var ErrEpochConflict = errors.New("index: epoch conflict")
+
+// ErrNonPlanarEdit is returned by ApplyEdits when RequirePlanar is set
+// and the edited graph would not be planar. The Index is left unchanged.
+var ErrNonPlanarEdit = errors.New("index: edit batch would make the target non-planar")
+
+// EditBatch is one atomic set of edge edits. Removals are applied before
+// additions (an edge may be removed and re-added in one batch);
+// validation is all-or-nothing — any invalid edit rejects the whole
+// batch with an error wrapping graph.ErrEdit and the Index unchanged.
+type EditBatch struct {
+	// Add and Remove list undirected edges as (u, v) vertex-id pairs
+	// over the target's fixed vertex set.
+	Add    [][2]int32 `json:"add,omitempty"`
+	Remove [][2]int32 `json:"remove,omitempty"`
+	// RequirePlanar rejects the batch (ErrNonPlanarEdit) if the edited
+	// graph would lose planarity — the Theorem 2.4 work guarantee only
+	// holds for planar targets.
+	RequirePlanar bool `json:"requirePlanar,omitempty"`
+	// IfEpoch, when non-nil, makes the batch conditional: it applies
+	// only if the Index is still at that epoch (optimistic concurrency
+	// for multiple writers; ErrEpochConflict otherwise).
+	IfEpoch *uint64 `json:"ifEpoch,omitempty"`
+}
+
+// ClassDelta reports, for one artifact class, how many migrated entries
+// were kept verbatim vs rebuilt by an edit batch.
+type ClassDelta struct {
+	Kept    int `json:"kept"`
+	Rebuilt int `json:"rebuilt"`
+}
+
+// EditResult describes one applied batch: the new epoch and the
+// per-class migration work. Bands counts individual band decompositions
+// across all migrated covers — the unit the "surgical invalidation"
+// claim is measured in: Bands.Rebuilt stays proportional to the
+// edit's locality, not to the target size.
+type EditResult struct {
+	// Epoch is the Index's epoch after the batch (previous epoch + 1).
+	Epoch uint64 `json:"epoch"`
+	// Added and Removed count the applied edits.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Clusterings, PlainCovers and SeparatingCovers describe migrated
+	// memo entries; Bands describes band decompositions within the
+	// migrated covers.
+	Clusterings      ClassDelta `json:"clusterings"`
+	PlainCovers      ClassDelta `json:"plainCovers"`
+	SeparatingCovers ClassDelta `json:"separatingCovers"`
+	Bands            ClassDelta `json:"bands"`
+}
+
+// ApplyEdits applies one batch of edge edits, advancing the Index to a
+// new epoch. On success later queries run against the edited graph with
+// every unaffected artifact retained; queries already in flight finish
+// against the pre-edit generation. On any error the Index is unchanged:
+// a batch failing validation wraps graph.ErrEdit, a stale IfEpoch wraps
+// ErrEpochConflict, a planarity-violating batch under RequirePlanar
+// returns ErrNonPlanarEdit.
+//
+// Concurrent ApplyEdits calls serialize; concurrent queries, Save and
+// Stats need no coordination (they pin whichever generation is current
+// when they start). Post-edit answers are byte-identical to those of a
+// fresh Index built on the edited graph with the same Options.
+func (ix *Index) ApplyEdits(b EditBatch) (EditResult, error) {
+	ix.editMu.Lock()
+	defer ix.editMu.Unlock()
+
+	old := ix.cur.Load()
+	if b.IfEpoch != nil && *b.IfEpoch != old.epoch {
+		return EditResult{Epoch: old.epoch}, fmt.Errorf(
+			"%w: batch conditioned on epoch %d, index at %d", ErrEpochConflict, *b.IfEpoch, old.epoch)
+	}
+	g2, err := old.g.WithEdits(b.Add, b.Remove)
+	if err != nil {
+		return EditResult{Epoch: old.epoch}, err
+	}
+	if b.RequirePlanar && !planarity.IsPlanar(g2) {
+		return EditResult{Epoch: old.epoch}, ErrNonPlanarEdit
+	}
+
+	t0 := time.Now()
+	next := ix.newGeneration(old.epoch+1, g2)
+	res := EditResult{Epoch: next.epoch, Added: len(b.Add), Removed: len(b.Remove)}
+	ix.migrate(old, next, &res)
+	ix.memo[memoEpoch].buildNanos.Add(time.Since(t0).Nanoseconds())
+
+	ix.cur.Store(next)
+	ix.retire(old)
+	return res, nil
+}
+
+// migrate carries every completed memo entry of old into next, keeping
+// it verbatim when the edit did not touch it and rebuilding it through
+// the fresh-build code path otherwise. Entries still under construction
+// are skipped, exactly as Snapshot skips them: their builders publish
+// into the old generation, and a later query against next rebuilds them
+// on demand, bit-identically.
+func (ix *Index) migrate(old, next *generation, res *EditResult) {
+	// Snapshot old's completed entries under its lock; construction of
+	// next needs no locks (it is unpublished and editMu serializes us).
+	old.mu.Lock()
+	clusters := make(map[clusterKey]*clusterEntry, len(old.clusters))
+	for key, e := range old.clusters {
+		if e.done.Load() {
+			clusters[key] = e
+		}
+	}
+	plain := make(map[coverKey]*coverEntry, len(old.plain))
+	for key, e := range old.plain {
+		if e.done.Load() {
+			plain[key] = e
+		}
+	}
+	sep := make(map[sepKey]*coverEntry, len(old.sep))
+	for key, e := range old.sep {
+		if e.done.Load() {
+			sep[key] = e
+		}
+	}
+	old.mu.Unlock()
+
+	// Clusterings first: covers share them, and the kept/rebuilt
+	// decision below wants the migrated pointer.
+	for key, e := range clusters {
+		beta := math.Float64frombits(key.betaBits)
+		cl2 := core.ClusterRun(next.g, beta, key.run, ix.opt)
+		if e.cl.Equal(cl2) {
+			next.clusters[key] = e
+			res.Clusterings.Kept++
+			ix.inval[invalClustering].retained.Add(1)
+		} else {
+			next.clusters[key] = newDoneClusterEntry(cl2)
+			res.Clusterings.Rebuilt++
+			ix.inval[invalClustering].invalidated.Add(1)
+		}
+	}
+
+	for key, e := range plain {
+		cl := ix.migratedClustering(next, core.CoverBeta(key.k, ix.opt), key.run, res)
+		pc2, kept, rebuilt := core.RefreshPrepared(next.g, cl, e.pc, key.k, key.d, ix.opt)
+		ix.countBands(res, kept, rebuilt)
+		if coverSurvived(e, pc2, rebuilt) {
+			next.plain[key] = e
+			res.PlainCovers.Kept++
+			ix.inval[invalCover].retained.Add(1)
+		} else {
+			next.plain[key] = newDoneCoverEntry(pc2)
+			res.PlainCovers.Rebuilt++
+			ix.inval[invalCover].invalidated.Add(1)
+		}
+	}
+
+	for key, e := range sep {
+		cl := ix.migratedClustering(next, core.CoverBeta(key.k, ix.opt), key.run, res)
+		s := unpackMask(key.s, next.g.N())
+		pc2, kept, rebuilt := core.RefreshPreparedSeparating(next.g, cl, s, e.pc, key.k, key.d, ix.opt)
+		ix.countBands(res, kept, rebuilt)
+		if coverSurvived(e, pc2, rebuilt) {
+			next.sep[key] = e
+			res.SeparatingCovers.Kept++
+			ix.inval[invalSeparating].retained.Add(1)
+		} else {
+			next.sep[key] = newDoneCoverEntry(pc2)
+			res.SeparatingCovers.Rebuilt++
+			ix.inval[invalSeparating].invalidated.Add(1)
+		}
+	}
+}
+
+// countBands accumulates one refreshed cover's band reuse into the batch
+// result and the lifetime counters.
+func (ix *Index) countBands(res *EditResult, kept, rebuilt int) {
+	res.Bands.Kept += kept
+	res.Bands.Rebuilt += rebuilt
+	ix.inval[invalBand].retained.Add(uint64(kept))
+	ix.inval[invalBand].invalidated.Add(uint64(rebuilt))
+}
+
+// coverSurvived decides whether a migrated cover entry can be kept
+// verbatim: every band was reused, none appeared or disappeared, and the
+// cover-level metadata (inducing clustering, BFS depth proxy) is
+// unchanged. The refreshed cover pc2 references old band pointers for
+// every kept band, so these checks make old and new bit-identical.
+func coverSurvived(e *coverEntry, pc2 *core.PreparedCover, rebuilt int) bool {
+	return rebuilt == 0 &&
+		len(pc2.Bands) == len(e.pc.Bands) &&
+		pc2.Cover.Clustering == e.pc.Cover.Clustering &&
+		pc2.Cover.BFSRounds == e.pc.Cover.BFSRounds
+}
+
+// migratedClustering returns next's clustering for (beta, run), building
+// and installing it if cover migration reaches it before any clustering
+// entry did (possible when the old generation memoized a cover but not
+// its clustering, e.g. after a partial snapshot restore). A build here
+// counts as a rebuilt clustering.
+func (ix *Index) migratedClustering(next *generation, beta float64, run int, res *EditResult) *estc.Clustering {
+	key := clusterKey{math.Float64bits(beta), run}
+	if e, ok := next.clusters[key]; ok {
+		return e.cl
+	}
+	cl := core.ClusterRun(next.g, beta, run, ix.opt)
+	next.clusters[key] = newDoneClusterEntry(cl)
+	res.Clusterings.Rebuilt++
+	ix.inval[invalClustering].invalidated.Add(1)
+	return cl
+}
+
+// newDoneClusterEntry wraps a freshly built clustering as a completed
+// memo entry (the once pre-fired, as FromSnapshot does).
+func newDoneClusterEntry(cl *estc.Clustering) *clusterEntry {
+	e := &clusterEntry{}
+	e.once.Do(func() {
+		e.cl = cl
+		e.bytes = cl.MemBytes()
+		e.done.Store(true)
+	})
+	return e
+}
+
+// newDoneCoverEntry wraps a refreshed prepared cover as a completed memo
+// entry.
+func newDoneCoverEntry(pc *core.PreparedCover) *coverEntry {
+	e := &coverEntry{}
+	e.once.Do(func() {
+		e.pc = pc
+		e.bytes = pc.MemBytes()
+		e.bands = len(pc.Bands)
+		e.done.Store(true)
+	})
+	return e
+}

@@ -29,16 +29,23 @@
 // concurrent use: lookups take a short lock and construction happens
 // under a per-key sync.Once, so two goroutines asking for the same
 // artifact build it once and share it.
+//
+// The target is live: ApplyEdits applies a batch of edge insertions and
+// deletions, advancing the Index to a new epoch. Artifacts live in
+// copy-on-write generations (see generation.go); every query pins one
+// generation for its whole life, so in-flight scans finish against the
+// consistent pre-edit world while new queries see the post-edit one.
+// Invalidation is surgical — only artifacts the edit actually changed are
+// rebuilt (see edits.go) — and the survivors are bit-identical to a
+// fresh build on the edited graph.
 package index
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"planarsi/internal/core"
 	"planarsi/internal/estc"
@@ -46,23 +53,22 @@ import (
 	"planarsi/internal/graph"
 	"planarsi/internal/obs"
 	"planarsi/internal/par"
-	"planarsi/internal/planarity"
 )
 
-// Index preprocesses a fixed target graph and answers repeated subgraph
+// Index preprocesses a target graph and answers repeated subgraph
 // isomorphism queries over shared, memoized pipeline artifacts. Build one
 // with New; the zero value is not usable.
 type Index struct {
-	g   *graph.Graph
 	opt core.Options
 
-	// embedOnce computes the target's planar embedding at most once
-	// (queries do not need it, so it is lazy). embedBytes publishes the
-	// embedded copy's footprint for Stats once the build completes.
-	embedOnce  sync.Once
-	embedded   *graph.Graph
-	embedErr   error
-	embedBytes atomic.Int64
+	// cur points at the live artifact generation (graph + embedding +
+	// memo tables). ApplyEdits and Reset replace it copy-on-write under
+	// editMu; queries pin a generation via acquire/release and never mix
+	// two of them. retiredGens gauges swapped-out generations still
+	// pinned by draining queries.
+	cur         atomic.Pointer[generation]
+	editMu      sync.Mutex
+	retiredGens atomic.Int64
 
 	// queries counts answered queries (one per pattern, including each
 	// pattern of a batched scan) for the Index's whole lifetime; Reset
@@ -77,13 +83,15 @@ type Index struct {
 	// MemoStats (hits, misses, build time); residency lives in the maps.
 	memo [numMemoClasses]memoCounters
 
-	mu       sync.Mutex
-	clusters map[clusterKey]*clusterEntry
-	plain    map[coverKey]*coverEntry
-	sep      map[sepKey]*coverEntry
+	// inval holds the per-class invalidation counters ApplyEdits
+	// advances: how many migrated artifacts were retained verbatim vs
+	// rebuilt, cumulative over the Index's lifetime.
+	inval [numInvalClasses]invalCounters
 
 	// pmu guards the compiled-pattern cache (see compile.go); porder is
-	// its FIFO eviction queue, oldest key first.
+	// its FIFO eviction queue, oldest key first. Compiled patterns are
+	// derived from patterns alone, so the cache is epoch-independent and
+	// survives ApplyEdits untouched.
 	pmu      sync.Mutex
 	patterns map[string]*compiled
 	porder   []string
@@ -132,44 +140,48 @@ type coverEntry struct {
 // fixes the Index's randomness — an Index answers exactly as the one-shot
 // API would with the same Options.
 func New(g *graph.Graph, opt core.Options) *Index {
-	return &Index{
-		g:        g,
+	ix := &Index{
 		opt:      opt,
-		clusters: make(map[clusterKey]*clusterEntry),
-		plain:    make(map[coverKey]*coverEntry),
-		sep:      make(map[sepKey]*coverEntry),
 		patterns: make(map[string]*compiled),
 	}
+	ix.cur.Store(ix.newGeneration(0, g))
+	return ix
 }
 
-// Graph returns the Index's target.
-func (ix *Index) Graph() *graph.Graph { return ix.g }
+// Graph returns the Index's current target: the original graph passed to
+// New, as edited by every ApplyEdits batch applied since.
+func (ix *Index) Graph() *graph.Graph { return ix.cur.Load().g }
 
-// embed computes the target's planar embedding once.
-func (ix *Index) embed() {
-	ix.embedOnce.Do(func() {
-		ix.embedded, ix.embedErr = planarity.Embed(ix.g)
-		if ix.embedded != nil && ix.embedded != ix.g {
-			ix.embedBytes.Store(ix.embedded.MemBytes())
-		}
-	})
-}
+// Epoch returns the Index's edit-generation counter: 0 for a fresh
+// build, +1 per applied edit batch. Snapshots persist it, so a restored
+// Index resumes its mutation history.
+func (ix *Index) Epoch() uint64 { return ix.cur.Load().epoch }
+
+// RetiredGenerations reports how many superseded artifact generations
+// are still pinned by draining queries. It is 0 whenever the Index is
+// quiescent — old generations are released as soon as their last
+// in-flight query finishes.
+func (ix *Index) RetiredGenerations() int64 { return ix.retiredGens.Load() }
 
 // Planar reports whether the target admits a planar embedding, computing
 // (and caching) the embedding on first call. The query pipeline stays
 // correct on non-planar targets — only the Theorem 2.4 treewidth bound,
 // and with it the work guarantee, needs planarity.
 func (ix *Index) Planar() bool {
-	ix.embed()
-	return ix.embedErr == nil
+	gen := ix.acquire()
+	defer ix.release(gen)
+	gen.embed()
+	return gen.embedErr == nil
 }
 
 // Embedded returns the target carrying a combinatorial planar embedding
 // (rotation system), or planarity.ErrNotPlanar. The embedding is computed
-// once and cached.
+// once per generation and cached.
 func (ix *Index) Embedded() (*graph.Graph, error) {
-	ix.embed()
-	return ix.embedded, ix.embedErr
+	gen := ix.acquire()
+	defer ix.release(gen)
+	gen.embed()
+	return gen.embedded, gen.embedErr
 }
 
 // depoisonOnPanic is deferred inside every memo entry's once.Do build:
@@ -196,115 +208,22 @@ func checkBuilt(done *atomic.Bool, what string) {
 	}
 }
 
-// clustering returns the memoized ESTC clustering for (beta, run).
-func (ix *Index) clustering(beta float64, run int) *estc.Clustering {
-	key := clusterKey{math.Float64bits(beta), run}
-	ix.mu.Lock()
-	e, ok := ix.clusters[key]
-	if !ok {
-		e = &clusterEntry{}
-		ix.clusters[key] = e
-	}
-	ix.mu.Unlock()
-	ix.memo[memoClustering].touch(ok && e.done.Load())
-	e.once.Do(func() {
-		t0 := time.Now()
-		defer depoisonOnPanic(&e.done, func() {
-			ix.mu.Lock()
-			if ix.clusters[key] == e {
-				delete(ix.clusters, key)
-			}
-			ix.mu.Unlock()
-		})
-		e.cl = core.ClusterRun(ix.g, beta, run, ix.opt)
-		e.bytes = e.cl.MemBytes()
-		ix.memo[memoClustering].buildNanos.Add(time.Since(t0).Nanoseconds())
-		e.done.Store(true)
-	})
-	checkBuilt(&e.done, "clustering")
-	return e.cl
-}
-
-// Prepared implements core.CoverSource: it returns the memoized prepared
-// plain cover for run `run` of pattern shape (k, d), identical to the one
-// core.PrepareRun would build fresh.
-//
-// Runs past the decide budget are built fresh and not cached: the
-// listing loop's adaptive stopping rule (Theorem 4.2) can push run
-// indices arbitrarily far on occurrence-rich targets, and memoizing that
-// tail would grow the cache without bound. Identity of answers is
-// unaffected — a fresh build equals a cached one by construction.
+// Prepared implements core.CoverSource against the current generation
+// (see generation.Prepared). Queries that need several covers should run
+// through the query methods, which pin one generation for their whole
+// life; Prepared alone pins only per call.
 func (ix *Index) Prepared(k, d, run int) *core.PreparedCover {
-	if run >= core.RunBudget(ix.g.N(), ix.opt) {
-		// Deliberately uncached: every such access is a miss and its
-		// build time is charged like a memoized build's.
-		m := &ix.memo[memoPlainCover]
-		m.touch(false)
-		t0 := time.Now()
-		pc := core.PrepareRun(ix.g, k, d, run, ix.opt)
-		m.buildNanos.Add(time.Since(t0).Nanoseconds())
-		return pc
-	}
-	key := coverKey{k, d, run}
-	ix.mu.Lock()
-	e, ok := ix.plain[key]
-	if !ok {
-		e = &coverEntry{}
-		ix.plain[key] = e
-	}
-	ix.mu.Unlock()
-	ix.memo[memoPlainCover].touch(ok && e.done.Load())
-	e.once.Do(func() {
-		t0 := time.Now()
-		defer depoisonOnPanic(&e.done, func() {
-			ix.mu.Lock()
-			if ix.plain[key] == e {
-				delete(ix.plain, key)
-			}
-			ix.mu.Unlock()
-		})
-		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
-		e.pc = core.PrepareFromClustering(ix.g, cl, k, d, ix.opt)
-		e.bytes = e.pc.MemBytes()
-		e.bands = len(e.pc.Bands)
-		ix.memo[memoPlainCover].buildNanos.Add(time.Since(t0).Nanoseconds())
-		e.done.Store(true)
-	})
-	checkBuilt(&e.done, "prepared cover")
-	return e.pc
+	gen := ix.acquire()
+	defer ix.release(gen)
+	return gen.Prepared(k, d, run)
 }
 
-// PreparedSeparating implements core.SeparatingSource: the memoized
-// separating cover for run `run` of pattern shape (k, d) and terminal set
-// s. It shares the (beta, run) clustering with the plain covers.
+// PreparedSeparating implements core.SeparatingSource against the
+// current generation (see generation.PreparedSeparating).
 func (ix *Index) PreparedSeparating(s []bool, k, d, run int) *core.PreparedCover {
-	key := sepKey{k, d, run, packMask(s)}
-	ix.mu.Lock()
-	e, ok := ix.sep[key]
-	if !ok {
-		e = &coverEntry{}
-		ix.sep[key] = e
-	}
-	ix.mu.Unlock()
-	ix.memo[memoSepCover].touch(ok && e.done.Load())
-	e.once.Do(func() {
-		t0 := time.Now()
-		defer depoisonOnPanic(&e.done, func() {
-			ix.mu.Lock()
-			if ix.sep[key] == e {
-				delete(ix.sep, key)
-			}
-			ix.mu.Unlock()
-		})
-		cl := ix.clustering(core.CoverBeta(k, ix.opt), run)
-		e.pc = core.PrepareSeparatingFromClustering(ix.g, cl, s, k, d, ix.opt)
-		e.bytes = e.pc.MemBytes()
-		e.bands = len(e.pc.Bands)
-		ix.memo[memoSepCover].buildNanos.Add(time.Since(t0).Nanoseconds())
-		e.done.Store(true)
-	})
-	checkBuilt(&e.done, "separating cover")
-	return e.pc
+	gen := ix.acquire()
+	defer ix.release(gen)
+	return gen.PreparedSeparating(s, k, d, run)
 }
 
 // packMask renders a bool mask as a compact comparable string.
@@ -318,13 +237,24 @@ func packMask(s []bool) string {
 	return string(b)
 }
 
+// unpackMask inverts packMask for an n-vertex target.
+func unpackMask(s string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		if i/8 < len(s) && s[i/8]&(1<<uint(i%8)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
 // queryOptions derives one query's pipeline Options from the Index's,
 // attaching a cancellation token watching ctx plus the ctx's span
 // recorder (obs.WithRecorder) and cost counter (obs.WithCost) when the
 // query carries them. The returned stop func must be deferred by the
 // caller. Cached artifact builds always run with the Index's own
-// token-free Options (see Prepared), so a cancelled query can never
-// leave a partial artifact behind — only the query's own dynamic
+// token-free Options (see generation.Prepared), so a cancelled query can
+// never leave a partial artifact behind — only the query's own dynamic
 // programs are abandoned.
 func (ix *Index) queryOptions(ctx context.Context) (core.Options, func()) {
 	opt := ix.opt
@@ -363,9 +293,11 @@ func (ix *Index) DecideCtx(ctx context.Context, h *graph.Graph) (bool, error) {
 	ix.queries.Add(1)
 	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	found, err := core.DecideFrom(ix, ix.g, h, opt)
+	found, err := core.DecideFrom(gen, gen.g, h, opt)
 	return found, ctxErr(ctx, err)
 }
 
@@ -380,9 +312,11 @@ func (ix *Index) FindOccurrenceCtx(ctx context.Context, h *graph.Graph) (core.Oc
 	ix.queries.Add(1)
 	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	occ, err := core.FindOneFrom(ix, ix.g, h, opt)
+	occ, err := core.FindOneFrom(gen, gen.g, h, opt)
 	return occ, ctxErr(ctx, err)
 }
 
@@ -397,9 +331,11 @@ func (ix *Index) ListOccurrencesCtx(ctx context.Context, h *graph.Graph) ([]core
 	ix.queries.Add(1)
 	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	occs, err := core.ListFrom(ix, ix.g, h, opt)
+	occs, err := core.ListFrom(gen, gen.g, h, opt)
 	return occs, ctxErr(ctx, err)
 }
 
@@ -414,9 +350,11 @@ func (ix *Index) CountOccurrencesCtx(ctx context.Context, h *graph.Graph) (int, 
 	ix.queries.Add(1)
 	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	c, err := core.CountFrom(ix, ix.g, h, opt)
+	c, err := core.CountFrom(gen, gen.g, h, opt)
 	return c, ctxErr(ctx, err)
 }
 
@@ -432,9 +370,11 @@ func (ix *Index) DecideSeparatingCtx(ctx context.Context, h *graph.Graph, s []bo
 	ix.queries.Add(1)
 	ix.sweeps.Add(1)
 	fault.Check(fault.QueryPanic)
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
-	occ, err := core.DecideSeparatingFrom(ix, ix.g, h, s, opt)
+	occ, err := core.DecideSeparatingFrom(gen, gen.g, h, s, opt)
 	return occ, ctxErr(ctx, err)
 }
 
@@ -456,6 +396,9 @@ type ScanResult struct {
 // cancelled or expired ctx stops the in-flight dynamic programs of every
 // pattern at their next checkpoint; affected patterns carry the
 // context's error in their ScanResult.Err.
+//
+// The whole batch pins one artifact generation: every member is answered
+// against the same target graph even when ApplyEdits lands mid-scan.
 //
 // Batch members are canonicalized through the compiled-pattern cache:
 // isomorphic members dedupe into one query, and distinct connected
@@ -503,9 +446,11 @@ type scanShape struct {
 // member (charging queries and the per-member fault point), dedupes
 // isomorphic members, groups the rest by (k, d) shape and dispatches
 // the resulting units — solo queries and multi-pattern group sweeps —
-// concurrently.
+// concurrently, all against one pinned generation.
 func (ix *Index) scanBatch(ctx context.Context, patterns []*graph.Graph, count bool) []ScanResult {
 	out := make([]ScanResult, len(patterns))
+	gen := ix.acquire()
+	defer ix.release(gen)
 	opt, stop := ix.queryOptions(ctx)
 	defer stop()
 
@@ -541,7 +486,7 @@ func (ix *Index) scanBatch(ctx context.Context, patterns []*graph.Graph, count b
 		if failed[i] {
 			continue
 		}
-		if c == nil || !c.connected || c.k < 2 || c.k > ix.g.N() || patterns[i].M() > ix.g.M() {
+		if c == nil || !c.connected || c.k < 2 || c.k > gen.g.N() || patterns[i].M() > gen.g.M() {
 			solos = append(solos, i)
 			continue
 		}
@@ -564,13 +509,13 @@ func (ix *Index) scanBatch(ctx context.Context, patterns []*graph.Graph, count b
 	for _, i := range solos {
 		i := i
 		units = append(units, func() {
-			ix.scanSolo(ctx, patterns[i], count, opt, &out[i])
+			ix.scanSolo(ctx, gen, patterns[i], count, opt, &out[i])
 		})
 	}
 	for _, sh := range order {
 		us := groups[sh]
 		units = append(units, func() {
-			ix.scanGroup(ctx, us, count, opt, out)
+			ix.scanGroup(ctx, gen, us, count, opt, out)
 		})
 	}
 	par.ForGrain(0, len(units), 1, func(u int) {
@@ -581,16 +526,16 @@ func (ix *Index) scanBatch(ctx context.Context, patterns []*graph.Graph, count b
 
 // scanSolo answers one pattern through the unbatched pipeline under its
 // own Guard, writing the result in place. The caller has already
-// charged the query and passed the fault checkpoint.
-func (ix *Index) scanSolo(ctx context.Context, h *graph.Graph, count bool, opt core.Options, res *ScanResult) {
+// charged the query, passed the fault checkpoint and pinned gen.
+func (ix *Index) scanSolo(ctx context.Context, gen *generation, h *graph.Graph, count bool, opt core.Options, res *ScanResult) {
 	ix.sweeps.Add(1)
 	err := Guard(func() error {
 		if count {
-			c, err := core.CountFrom(ix, ix.g, h, opt)
+			c, err := core.CountFrom(gen, gen.g, h, opt)
 			res.Found, res.Count = c > 0, c
 			return err
 		}
-		found, err := core.DecideFrom(ix, ix.g, h, opt)
+		found, err := core.DecideFrom(gen, gen.g, h, opt)
 		res.Found = found
 		return err
 	})
@@ -603,10 +548,10 @@ func (ix *Index) scanSolo(ctx context.Context, h *graph.Graph, count bool, opt c
 // sweep panics, the group decomposes into per-pattern solo queries so
 // one poisoned member cannot fail its shape-mates. Either way each
 // distinct pattern's answer is scattered to all of its isomorphs.
-func (ix *Index) scanGroup(ctx context.Context, us []*scanUniq, count bool, opt core.Options, out []ScanResult) {
+func (ix *Index) scanGroup(ctx context.Context, gen *generation, us []*scanUniq, count bool, opt core.Options, out []ScanResult) {
 	if len(us) == 1 {
 		var res ScanResult
-		ix.scanSolo(ctx, us[0].h, count, opt, &res)
+		ix.scanSolo(ctx, gen, us[0].h, count, opt, &res)
 		for _, m := range us[0].members {
 			out[m] = res
 		}
@@ -622,16 +567,16 @@ func (ix *Index) scanGroup(ctx context.Context, us []*scanUniq, count bool, opt 
 	err := Guard(func() error {
 		var err error
 		if count {
-			counts, err = core.CountGroupFrom(ix, ix.g, hs, opt)
+			counts, err = core.CountGroupFrom(gen, gen.g, hs, opt)
 		} else {
-			founds, err = core.DecideGroupFrom(ix, ix.g, hs, opt)
+			founds, err = core.DecideGroupFrom(gen, gen.g, hs, opt)
 		}
 		return err
 	})
 	if errors.Is(err, ErrQueryPanic) {
 		for _, u := range us {
 			var res ScanResult
-			ix.scanSolo(ctx, u.h, count, opt, &res)
+			ix.scanSolo(ctx, gen, u.h, count, opt, &res)
 			for _, m := range u.members {
 				out[m] = res
 			}
@@ -662,9 +607,11 @@ func (ix *Index) scanGroup(ctx context.Context, us []*scanUniq, count bool, opt 
 // shape (k = pattern size, d = pattern diameter) in parallel, moving the
 // preprocessing cost out of the first queries.
 func (ix *Index) Prewarm(k, d int) {
-	runs := core.RunBudget(ix.g.N(), ix.opt)
+	gen := ix.acquire()
+	defer ix.release(gen)
+	runs := core.RunBudget(gen.g.N(), ix.opt)
 	par.ForGrain(0, runs, 1, func(run int) {
-		ix.Prepared(k, d, run)
+		gen.Prepared(k, d, run)
 	})
 }
 
@@ -699,33 +646,39 @@ type Stats struct {
 	// queries add 1 to both. Reset does not clear it, and snapshots
 	// persist it alongside Queries.
 	Sweeps uint64 `json:"sweeps"`
+	// Epoch counts applied edit batches (see ApplyEdits); snapshots
+	// persist it so a warm boot resumes the mutation history.
+	Epoch uint64 `json:"epoch"`
 }
 
 // Stats returns a snapshot of the Index's cache accounting. Only fully
 // built artifacts are counted, so MemBytes equals the sum of MemBytes over
 // the artifacts a caller could obtain from the cache right now.
 func (ix *Index) Stats() Stats {
+	gen := ix.acquire()
+	defer ix.release(gen)
 	st := Stats{
-		GraphBytes: ix.g.MemBytes() + ix.embedBytes.Load(),
+		GraphBytes: gen.g.MemBytes() + gen.embedBytes.Load(),
 		Queries:    ix.queries.Load(),
 		Sweeps:     ix.sweeps.Load(),
+		Epoch:      gen.epoch,
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, e := range ix.clusters {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	for _, e := range gen.clusters {
 		if e.done.Load() {
 			st.Clusterings++
 			st.MemBytes += e.bytes
 		}
 	}
-	for _, e := range ix.plain {
+	for _, e := range gen.plain {
 		if e.done.Load() {
 			st.PlainCovers++
 			st.Bands += e.bands
 			st.MemBytes += e.bytes
 		}
 	}
-	for _, e := range ix.sep {
+	for _, e := range gen.sep {
 		if e.done.Load() {
 			st.SeparatingCovers++
 			st.Bands += e.bands
@@ -739,28 +692,36 @@ func (ix *Index) Stats() Stats {
 // currently memoized — cache introspection for tests and capacity
 // planning.
 func (ix *Index) CachedCovers() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return len(ix.plain) + len(ix.sep)
+	gen := ix.acquire()
+	defer ix.release(gen)
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return len(gen.plain) + len(gen.sep)
 }
 
 // CachedClusterings reports how many ESTC clusterings are currently
 // memoized.
 func (ix *Index) CachedClusterings() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return len(ix.clusters)
+	gen := ix.acquire()
+	defer ix.release(gen)
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return len(gen.clusters)
 }
 
 // Reset drops every memoized artifact, returning the Index to its
-// just-built state. In-flight queries keep the (immutable) artifacts they
-// already hold, so Reset is safe to call concurrently with queries.
+// just-built state (same graph, same epoch, cached embedding kept).
+// In-flight queries keep the generation — and with it the immutable
+// artifacts — they already pinned, so Reset is safe to call concurrently
+// with queries.
 func (ix *Index) Reset() {
-	ix.mu.Lock()
-	ix.clusters = make(map[clusterKey]*clusterEntry)
-	ix.plain = make(map[coverKey]*coverEntry)
-	ix.sep = make(map[sepKey]*coverEntry)
-	ix.mu.Unlock()
+	ix.editMu.Lock()
+	old := ix.cur.Load()
+	next := ix.newGeneration(old.epoch, old.g)
+	next.adoptEmbedding(old)
+	ix.cur.Store(next)
+	ix.retire(old)
+	ix.editMu.Unlock()
 	ix.pmu.Lock()
 	ix.patterns = make(map[string]*compiled)
 	ix.porder = nil

@@ -8,6 +8,13 @@ import "sync/atomic"
 // these counters describe cache *traffic* and restart from zero with
 // the process. The serving layer exports them as the
 // planarsi_index_memo_* metric families.
+//
+// The synthetic "epoch" class covers live-graph mutation: its hits are
+// artifacts retained verbatim across ApplyEdits migrations, its misses
+// artifacts invalidated and rebuilt, its build time the migration work,
+// and its entry count the live generations (1 + retired-but-draining).
+// The per-class breakdown of the same retained/invalidated tallies is
+// InvalidationStats.
 
 // Artifact classes, in the order MemoStats reports them.
 const (
@@ -15,10 +22,26 @@ const (
 	memoPlainCover
 	memoSepCover
 	memoPattern
+	memoEpoch
 	numMemoClasses
 )
 
-var memoClassNames = [numMemoClasses]string{"clustering", "cover", "separating", "pattern"}
+var memoClassNames = [numMemoClasses]string{"clustering", "cover", "separating", "pattern", "epoch"}
+
+// Invalidation classes, in the order InvalidationStats reports them.
+// Unlike the memo classes these count artifacts migrated by ApplyEdits:
+// bands are decompositions within covers, so classes overlap by design
+// (a rebuilt cover implies at least one rebuilt band; a kept cover
+// implies all bands kept).
+const (
+	invalClustering = iota
+	invalCover
+	invalSeparating
+	invalBand
+	numInvalClasses
+)
+
+var invalClassNames = [numInvalClasses]string{"clustering", "cover", "separating", "band"}
 
 // memoCounters is one artifact class's traffic counters.
 type memoCounters struct {
@@ -36,16 +59,23 @@ func (m *memoCounters) touch(hit bool) {
 	}
 }
 
+// invalCounters is one artifact class's lifetime mutation tallies.
+type invalCounters struct {
+	invalidated atomic.Uint64
+	retained    atomic.Uint64
+}
+
 // MemoStats is one artifact class's cache-traffic snapshot.
 type MemoStats struct {
 	// Class names the artifact class: "clustering" (ESTC clusterings),
 	// "cover" (plain prepared covers), "separating" (separating
 	// prepared covers), "pattern" (compiled patterns keyed by canonical
-	// form).
+	// form), "epoch" (artifact migration across edit generations).
 	Class string `json:"class"`
 	// Hits counts accesses that found a fully built entry; Misses
 	// counts the rest (entry absent, still building, or past the run
-	// budget and deliberately uncached).
+	// budget and deliberately uncached). For the epoch class, Hits are
+	// artifacts retained across ApplyEdits and Misses artifacts rebuilt.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	// BuildSeconds totals wall time spent inside this class's builds.
@@ -55,12 +85,14 @@ type MemoStats struct {
 	BuildSeconds float64 `json:"buildSeconds"`
 	// Bytes and Entries describe the fully built entries currently
 	// resident (the same accounting Stats aggregates across classes).
+	// For the epoch class, Entries counts live generations (1 unless
+	// retired generations are still draining) and Bytes is 0.
 	Bytes   int64 `json:"bytes"`
 	Entries int   `json:"entries"`
 }
 
 // MemoStats snapshots the per-class memo-cache traffic and residency,
-// ordered clustering, cover, separating, pattern.
+// ordered clustering, cover, separating, pattern, epoch.
 func (ix *Index) MemoStats() []MemoStats {
 	out := make([]MemoStats, numMemoClasses)
 	for c := range out {
@@ -72,21 +104,29 @@ func (ix *Index) MemoStats() []MemoStats {
 			BuildSeconds: float64(m.buildNanos.Load()) / 1e9,
 		}
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, e := range ix.clusters {
+	for c := range ix.inval {
+		out[memoEpoch].Hits += ix.inval[c].retained.Load()
+		out[memoEpoch].Misses += ix.inval[c].invalidated.Load()
+	}
+	out[memoEpoch].Entries = int(1 + ix.retiredGens.Load())
+
+	gen := ix.acquire()
+	defer ix.release(gen)
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	for _, e := range gen.clusters {
 		if e.done.Load() {
 			out[memoClustering].Entries++
 			out[memoClustering].Bytes += e.bytes
 		}
 	}
-	for _, e := range ix.plain {
+	for _, e := range gen.plain {
 		if e.done.Load() {
 			out[memoPlainCover].Entries++
 			out[memoPlainCover].Bytes += e.bytes
 		}
 	}
-	for _, e := range ix.sep {
+	for _, e := range gen.sep {
 		if e.done.Load() {
 			out[memoSepCover].Entries++
 			out[memoSepCover].Bytes += e.bytes
@@ -98,5 +138,37 @@ func (ix *Index) MemoStats() []MemoStats {
 		out[memoPattern].Bytes += int64(len(key)) + compiledBytes
 	}
 	ix.pmu.Unlock()
+	return out
+}
+
+// InvalidationStats is one artifact class's lifetime mutation tally:
+// how many artifacts ApplyEdits migrations invalidated (rebuilt) vs
+// retained verbatim. The serving layer exports these as
+// planarsi_index_invalidations_total / planarsi_index_retained_total.
+type InvalidationStats struct {
+	// Class names the artifact class: "clustering", "cover",
+	// "separating" (memo entries) or "band" (band decompositions within
+	// the migrated covers — the granularity invalidation is surgical
+	// at).
+	Class string `json:"class"`
+	// Invalidated counts artifacts an edit actually touched, rebuilt
+	// through the fresh-build path; Retained counts artifacts that
+	// survived a migration verbatim. Cumulative over the Index's
+	// lifetime; zero until the first ApplyEdits.
+	Invalidated uint64 `json:"invalidated"`
+	Retained    uint64 `json:"retained"`
+}
+
+// InvalidationStats snapshots the per-class mutation tallies, ordered
+// clustering, cover, separating, band.
+func (ix *Index) InvalidationStats() []InvalidationStats {
+	out := make([]InvalidationStats, numInvalClasses)
+	for c := range out {
+		out[c] = InvalidationStats{
+			Class:       invalClassNames[c],
+			Invalidated: ix.inval[c].invalidated.Load(),
+			Retained:    ix.inval[c].retained.Load(),
+		}
+	}
 	return out
 }

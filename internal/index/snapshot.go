@@ -49,35 +49,38 @@ func configOnly(o core.Options) core.Options {
 // first-class. Artifact lists are sorted by key, so equal cache
 // contents always serialize to identical bytes.
 func (ix *Index) Snapshot() *snap.Snapshot {
+	gen := ix.acquire()
+	defer ix.release(gen)
 	s := &snap.Snapshot{
 		Options: configOnly(ix.opt),
 		Queries: ix.queries.Load(),
 		Sweeps:  ix.sweeps.Load(),
-		Graph:   ix.g,
+		Epoch:   gen.epoch,
+		Graph:   gen.g,
 	}
-	ix.mu.Lock()
-	for key, e := range ix.clusters {
+	gen.mu.Lock()
+	for key, e := range gen.clusters {
 		if e.done.Load() {
 			s.Clusters = append(s.Clusters, snap.ClusterArtifact{
 				BetaBits: key.betaBits, Run: key.run, Bytes: e.bytes, C: e.cl,
 			})
 		}
 	}
-	for key, e := range ix.plain {
+	for key, e := range gen.plain {
 		if e.done.Load() {
 			s.Plain = append(s.Plain, snap.CoverArtifact{
 				K: key.k, D: key.d, Run: key.run, Bytes: e.bytes, PC: e.pc,
 			})
 		}
 	}
-	for key, e := range ix.sep {
+	for key, e := range gen.sep {
 		if e.done.Load() {
 			s.Sep = append(s.Sep, snap.CoverArtifact{
 				K: key.k, D: key.d, Run: key.run, Bytes: e.bytes, Mask: key.s, PC: e.pc,
 			})
 		}
 	}
-	ix.mu.Unlock()
+	gen.mu.Unlock()
 
 	slices.SortFunc(s.Clusters, func(a, b snap.ClusterArtifact) int {
 		if c := cmp.Compare(a.BetaBits, b.BetaBits); c != 0 {
@@ -124,9 +127,14 @@ func FromSnapshot(s *snap.Snapshot) (*Index, error) {
 	ix := New(s.Graph, s.Options)
 	ix.queries.Store(s.Queries)
 	ix.sweeps.Store(s.Sweeps)
+	// The generation is freshly built and unpublished beyond this
+	// constructor, so its tables can be populated directly; its epoch
+	// resumes the saved mutation history.
+	gen := ix.cur.Load()
+	gen.epoch = s.Epoch
 	for _, ca := range s.Clusters {
 		key := clusterKey{ca.BetaBits, ca.Run}
-		if _, dup := ix.clusters[key]; dup {
+		if _, dup := gen.clusters[key]; dup {
 			return nil, fmt.Errorf("%w: duplicate clustering key %+v", snap.ErrFormat, key)
 		}
 		e := &clusterEntry{}
@@ -136,7 +144,7 @@ func FromSnapshot(s *snap.Snapshot) (*Index, error) {
 			e.bytes = bytes
 			e.done.Store(true)
 		})
-		ix.clusters[key] = e
+		gen.clusters[key] = e
 	}
 	install := func(e *coverEntry, ca snap.CoverArtifact) {
 		pc, bytes := ca.PC, ca.Bytes
@@ -149,21 +157,21 @@ func FromSnapshot(s *snap.Snapshot) (*Index, error) {
 	}
 	for _, ca := range s.Plain {
 		key := coverKey{ca.K, ca.D, ca.Run}
-		if _, dup := ix.plain[key]; dup {
+		if _, dup := gen.plain[key]; dup {
 			return nil, fmt.Errorf("%w: duplicate plain cover key %+v", snap.ErrFormat, key)
 		}
 		e := &coverEntry{}
 		install(e, ca)
-		ix.plain[key] = e
+		gen.plain[key] = e
 	}
 	for _, ca := range s.Sep {
 		key := sepKey{ca.K, ca.D, ca.Run, ca.Mask}
-		if _, dup := ix.sep[key]; dup {
+		if _, dup := gen.sep[key]; dup {
 			return nil, fmt.Errorf("%w: duplicate separating cover key (k=%d d=%d run=%d)", snap.ErrFormat, ca.K, ca.D, ca.Run)
 		}
 		e := &coverEntry{}
 		install(e, ca)
-		ix.sep[key] = e
+		gen.sep[key] = e
 	}
 	return ix, nil
 }

@@ -1,0 +1,200 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"planarsi/internal/core"
+	"planarsi/internal/graph"
+	"planarsi/internal/serve"
+)
+
+// TestHTTPApplyEdits drives the mutation endpoint end to end: a batch of
+// edits answers 200 with the new epoch and the per-class migration work,
+// post-edit queries answer against the edited graph exactly like the
+// direct API on a fresh build, and the error statuses come back as
+// documented (404 unknown graph, 409 epoch conflict, 422 invalid or
+// planarity-violating batch, 400 malformed body).
+func TestHTTPApplyEdits(t *testing.T) {
+	s, ts := newTestServer(t)
+	g := graph.Grid(4, 4)
+	base := graph.FromEdges(g.N(), g.Edges())
+	if _, err := s.Registry().Register("grid", base, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown graph: 404.
+	resp, body := postJSON(t, ts.URL+"/graphs/nope/edges", serve.EditRequest{Add: []serve.Edge{{0, 5}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Invalid batch (edge already present): 422, epoch unchanged.
+	resp, body = postJSON(t, ts.URL+"/graphs/grid/edges", serve.EditRequest{Add: []serve.Edge{{0, 1}}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate add: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Malformed edge (three ids): 400 via the strict Edge decoder.
+	resp, body = postJSON(t, ts.URL+"/graphs/grid/edges", map[string]any{"add": [][]int{{0, 5, 9}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed edge: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Stale epoch condition: 409.
+	one := uint64(1)
+	resp, body = postJSON(t, ts.URL+"/graphs/grid/edges", serve.EditRequest{Add: []serve.Edge{{0, 5}}, IfEpoch: &one})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale ifEpoch: status %d: %s", resp.StatusCode, body)
+	}
+
+	// A valid conditional batch applies: diagonal in, one grid edge out.
+	zero := uint64(0)
+	resp, body = postJSON(t, ts.URL+"/graphs/grid/edges", serve.EditRequest{
+		Add:     []serve.Edge{{0, 5}},
+		Remove:  []serve.Edge{{0, 1}},
+		IfEpoch: &zero,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit batch: status %d: %s", resp.StatusCode, body)
+	}
+	var er serve.EditResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Graph != "grid" || er.Epoch != 1 || er.Added != 1 || er.Removed != 1 {
+		t.Fatalf("edit response = %+v, want grid epoch 1, 1 added, 1 removed", er)
+	}
+
+	// Post-edit answers equal the direct API on the edited graph.
+	g2, err := base.WithEdits([][2]int32{{0, 5}}, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*graph.Graph{graph.Cycle(3), graph.Cycle(4)} {
+		req := map[string]any{"graph": "grid", "pattern": graphWire(h)}
+		resp, body := postJSON(t, ts.URL+"/count", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-edit count: status %d: %s", resp.StatusCode, body)
+		}
+		var qr serve.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Count(g2, h, httpOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.Count == nil || *qr.Count != want {
+			t.Fatalf("post-edit count = %+v, want %d", qr.Count, want)
+		}
+	}
+
+	// The planarity gate: adding enough diagonals to lose planarity is
+	// refused with 422 when the batch asks for the check.
+	resp, body = postJSON(t, ts.URL+"/graphs/grid/edges", serve.EditRequest{
+		Add:           []serve.Edge{{0, 1}, {1, 4}, {2, 5}, {1, 6}, {2, 7}, {0, 6}, {3, 5}},
+		RequirePlanar: true,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("non-planar batch: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "non-planar") {
+		t.Fatalf("non-planar rejection body: %s", body)
+	}
+
+	// /stats and /metrics surface the mutation: epoch gauge at 1 and a
+	// nonzero retained tally for at least one class.
+	resp, body = postJSON(t, ts.URL+"/decide", map[string]any{"graph": "grid", "pattern": graphWire(graph.Cycle(4))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm decide: status %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	if !strings.Contains(metrics, `planarsi_index_epoch{graph="grid"} 1`) {
+		t.Fatalf("metrics missing epoch gauge:\n%s", grepLines(metrics, "planarsi_index_epoch"))
+	}
+	for _, fam := range []string{"planarsi_index_invalidations_total", "planarsi_index_retained_total"} {
+		if !strings.Contains(metrics, fam+`{class="band",graph="grid"}`) {
+			t.Fatalf("metrics missing %s band series:\n%s", fam, grepLines(metrics, fam))
+		}
+	}
+
+	st := s.Stats()
+	for _, gi := range st.Registry.Graphs {
+		if gi.Name != "grid" {
+			continue
+		}
+		if gi.Index.Epoch != 1 {
+			t.Fatalf("stats epoch = %d, want 1", gi.Index.Epoch)
+		}
+		if len(gi.Invalidations) == 0 {
+			t.Fatal("stats missing invalidation tallies")
+		}
+		if gi.M != g2.M() {
+			t.Fatalf("stats edge count = %d, want post-edit %d", gi.M, g2.M())
+		}
+	}
+}
+
+// TestHTTPEditsInvalidateConnectivity checks the epoch-keyed
+// connectivity cache: removing a cut edge changes the served
+// connectivity without re-registering the graph.
+func TestHTTPEditsInvalidateConnectivity(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Two triangles joined by a bridge: connectivity 1.
+	g := graph.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3},
+	})
+	if _, err := s.Registry().Register("bridged", g, false); err != nil {
+		t.Fatal(err)
+	}
+	conn1 := getConnectivity(t, ts, "bridged")
+	if conn1 != 1 {
+		t.Fatalf("pre-edit connectivity = %d, want 1 (bridge)", conn1)
+	}
+	// Drop the bridge: the graph disconnects, connectivity 0.
+	resp, body := postJSON(t, ts.URL+"/graphs/bridged/edges", serve.EditRequest{Remove: []serve.Edge{{2, 3}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit: status %d: %s", resp.StatusCode, body)
+	}
+	if conn0 := getConnectivity(t, ts, "bridged"); conn0 != 0 {
+		t.Fatalf("post-edit connectivity = %d, want 0 (disconnected)", conn0)
+	}
+}
+
+func getConnectivity(t *testing.T, ts *httptest.Server, name string) int {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/connectivity", map[string]any{"graph": name})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("connectivity: status %d: %s", resp.StatusCode, body)
+	}
+	var cr serve.ConnectivityResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr.Connectivity
+}
+
+// grepLines returns the lines of s containing sub, for failure messages.
+func grepLines(s, sub string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -175,6 +175,30 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 		}
 	}
 
+	// Live-graph mutation per graph: the edit epoch plus the per-class
+	// invalidated/retained tallies of ApplyEdits migrations. A healthy
+	// incremental workload keeps invalidations well below retained —
+	// the mutation-smoke CI lane asserts exactly that.
+	writeHeader(b, "planarsi_index_epoch",
+		"Edit epoch per graph: edit batches applied over the Index's lifetime (0 = never mutated).", "gauge")
+	for _, gi := range rst.Graphs {
+		writeSample(b, "planarsi_index_epoch", `graph="`+gi.Name+`"`, float64(gi.Index.Epoch))
+	}
+	writeHeader(b, "planarsi_index_invalidations_total",
+		"Artifacts invalidated (rebuilt) by edit migrations, per graph and artifact class.", "counter")
+	for _, gi := range rst.Graphs {
+		for _, st := range gi.Invalidations {
+			writeSample(b, "planarsi_index_invalidations_total", memoLabels(gi.Name, st.Class), float64(st.Invalidated))
+		}
+	}
+	writeHeader(b, "planarsi_index_retained_total",
+		"Artifacts retained verbatim across edit migrations, per graph and artifact class.", "counter")
+	for _, gi := range rst.Graphs {
+		for _, st := range gi.Invalidations {
+			writeSample(b, "planarsi_index_retained_total", memoLabels(gi.Name, st.Class), float64(st.Retained))
+		}
+	}
+
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
 	writeGauge(b, "planarsi_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))

@@ -64,7 +64,6 @@ type Registry struct {
 // Acquire (and Release them) or Register.
 type Entry struct {
 	name string
-	g    *graph.Graph
 	ix   *index.Index
 	// opt is the owning registry's pipeline option set (fixed for the
 	// entry's lifetime, like the Index's).
@@ -78,12 +77,15 @@ type Entry struct {
 	refs     int
 	lastUsed int64
 
-	// connOnce caches the vertex-connectivity answer: the graph and the
-	// pipeline options are fixed per entry, so the (seeded, deterministic)
-	// result never changes.
-	connOnce sync.Once
-	connRes  conn.Result
-	connErr  error
+	// The vertex-connectivity cache, keyed by the Index's edit epoch:
+	// within one epoch the graph and the pipeline options are fixed, so
+	// the (seeded, deterministic) answer never changes; an ApplyEdits
+	// invalidates it by advancing the epoch.
+	connMu    sync.Mutex
+	connOK    bool
+	connEpoch uint64
+	connRes   conn.Result
+	connErr   error
 }
 
 // Name returns the entry's registry name.
@@ -93,39 +95,55 @@ func (e *Entry) Name() string { return e.name }
 // (daemon-preloaded and snapshot-restored-as-pinned graphs).
 func (e *Entry) Pinned() bool { return e.pinned }
 
-// Graph returns the entry's host graph.
-func (e *Entry) Graph() *graph.Graph { return e.g }
+// Graph returns the entry's host graph at its current edit epoch.
+func (e *Entry) Graph() *graph.Graph { return e.ix.Graph() }
 
 // Index returns the entry's shared-preprocessing Index.
 func (e *Entry) Index() *index.Index { return e.ix }
 
 // Connectivity returns the host graph's vertex connectivity under the
-// registry's pipeline options, computed at most once per entry (it needs
-// the planar embedding, which the Index also caches; the graph and the
-// options are fixed per entry, so the seeded answer never changes).
+// registry's pipeline options, computed at most once per edit epoch (it
+// needs the planar embedding, which the Index also caches; within an
+// epoch the graph and the options are fixed, so the seeded answer never
+// changes, and an ApplyEdits invalidates the cache by advancing the
+// epoch).
 func (e *Entry) Connectivity() (conn.Result, error) {
-	e.connOnce.Do(func() {
-		// sync.Once marks itself done even when the body panics, which
-		// would leave a zero (0-connectivity, nil-error) answer cached
-		// forever. The computation is deterministic, so a panic would
-		// repeat anyway: convert it to a cached error instead of
-		// poisoning the entry.
-		defer func() {
-			if v := recover(); v != nil {
-				e.connErr = fmt.Errorf("serve: connectivity computation panicked: %v", v)
-			}
-		}()
-		g, err := e.ix.Embedded()
-		if err != nil {
-			e.connErr = err
-			return
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
+	epoch := e.ix.Epoch()
+	if e.connOK && e.connEpoch == epoch {
+		return e.connRes, e.connErr
+	}
+	res, err := e.computeConnectivity()
+	// Cache only if no edit landed during the computation; the answer is
+	// still returned (it is consistent with whichever generation the
+	// embedding call pinned), and the next caller recomputes against the
+	// settled epoch.
+	if e.ix.Epoch() == epoch {
+		e.connRes, e.connErr, e.connEpoch, e.connOK = res, err, epoch, true
+	} else {
+		e.connOK = false
+	}
+	return res, err
+}
+
+// computeConnectivity runs one vertex-connectivity computation,
+// converting a panic into an error instead of poisoning the entry (the
+// computation is deterministic, so a panic would repeat anyway).
+func (e *Entry) computeConnectivity() (res conn.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("serve: connectivity computation panicked: %v", v)
 		}
-		e.connRes, e.connErr = conn.VertexConnectivity(g, conn.Options{
-			Seed:    e.opt.Seed,
-			MaxRuns: e.opt.MaxRuns,
-		})
+	}()
+	g, err := e.ix.Embedded()
+	if err != nil {
+		return conn.Result{}, err
+	}
+	return conn.VertexConnectivity(g, conn.Options{
+		Seed:    e.opt.Seed,
+		MaxRuns: e.opt.MaxRuns,
 	})
-	return e.connRes, e.connErr
 }
 
 // NewRegistry returns an empty registry.
@@ -140,7 +158,6 @@ func NewRegistry(opt RegistryOptions) *Registry {
 func (r *Registry) Register(name string, g *graph.Graph, pinned bool) (*Entry, error) {
 	e := &Entry{
 		name:   name,
-		g:      g,
 		ix:     index.New(g, r.opt.Pipeline),
 		opt:    r.opt.Pipeline,
 		pinned: pinned,
@@ -216,7 +233,6 @@ func (r *Registry) RestoreSnapshot(rd io.Reader, maxVertices int) (*Entry, error
 	}
 	e := &Entry{
 		name:   s.Name,
-		g:      ix.Graph(),
 		ix:     ix,
 		opt:    r.opt.Pipeline,
 		pinned: s.Pinned,
@@ -226,6 +242,27 @@ func (r *Registry) RestoreSnapshot(rd io.Reader, maxVertices int) (*Entry, error
 	}
 	r.Maintain()
 	return e, nil
+}
+
+// ApplyEdits applies one batch of edge edits to the named entry's Index,
+// advancing its edit epoch (see index.ApplyEdits for the migration and
+// consistency contract: in-flight queries drain against the pre-edit
+// generation; later queries see the edited graph with unaffected
+// artifacts retained). Failures wrap ErrNotFound for unknown names and
+// otherwise pass through the Index's error classes (graph.ErrEdit,
+// index.ErrEpochConflict, index.ErrNonPlanarEdit). The edited artifact
+// tables are re-measured against the memory budget before returning.
+func (r *Registry) ApplyEdits(name string, b index.EditBatch) (index.EditResult, error) {
+	e := r.Acquire(name)
+	if e == nil {
+		return index.EditResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	res, err := e.ix.ApplyEdits(b)
+	r.Release(e)
+	if err == nil {
+		r.Maintain()
+	}
+	return res, err
 }
 
 // Acquire pins the named entry for the duration of a request (bumping its
@@ -393,6 +430,12 @@ type GraphInfo struct {
 	// (hits, misses, build time), the same data /metrics exposes as the
 	// planarsi_index_memo_* families.
 	Memo []index.MemoStats `json:"memo,omitempty"`
+	// Invalidations is the Index's per-class mutation tally (artifacts
+	// invalidated vs retained across ApplyEdits migrations), the data
+	// behind planarsi_index_invalidations_total /
+	// planarsi_index_retained_total. The graph's edit epoch itself is
+	// Index.Epoch.
+	Invalidations []index.InvalidationStats `json:"invalidations,omitempty"`
 }
 
 // RegistryStats is a point-in-time snapshot of the registry.
@@ -415,15 +458,17 @@ func (r *Registry) Stats() RegistryStats {
 	}
 	for _, e := range r.entries {
 		ixst := e.ix.Stats()
+		g := e.ix.Graph()
 		info := GraphInfo{
-			Name:     e.name,
-			N:        e.g.N(),
-			M:        e.g.M(),
-			Pinned:   e.pinned,
-			InUse:    e.refs,
-			Index:    ixst,
-			MemBytes: ixst.GraphBytes + ixst.MemBytes,
-			Memo:     e.ix.MemoStats(),
+			Name:          e.name,
+			N:             g.N(),
+			M:             g.M(),
+			Pinned:        e.pinned,
+			InUse:         e.refs,
+			Index:         ixst,
+			MemBytes:      ixst.GraphBytes + ixst.MemBytes,
+			Memo:          e.ix.MemoStats(),
+			Invalidations: e.ix.InvalidationStats(),
 		}
 		st.Graphs = append(st.Graphs, info)
 		st.Bytes += info.MemBytes

@@ -158,6 +158,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /graphs", s.instrument("graphs.list", s.handleListGraphs))
 	mux.HandleFunc("POST /graphs/{name}", s.instrument("graphs.register", s.handleRegisterGraph))
+	mux.HandleFunc("POST /graphs/{name}/edges", s.instrument("edges.apply", s.handleApplyEdits))
 	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("graphs.remove", s.handleRemoveGraph))
 	mux.HandleFunc("POST /decide", s.instrument("decide", s.handleBatched(KindDecide)))
 	mux.HandleFunc("POST /count", s.instrument("count", s.handleBatched(KindCount)))

@@ -56,8 +56,9 @@ const magic = "PLSISNAP"
 // Version is the current snapshot format version. Readers reject other
 // versions outright: artifacts are cheap to rebuild relative to the risk
 // of misinterpreting a foreign layout. Version 2 added the lifetime
-// sweep counter to the meta section.
-const Version uint32 = 2
+// sweep counter to the meta section; version 3 added the edit-epoch
+// counter, so a warm boot resumes an index's mutation history.
+const Version uint32 = 3
 
 // Section tags, in their mandatory file order.
 const (

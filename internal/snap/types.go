@@ -47,7 +47,11 @@ type Snapshot struct {
 	Options core.Options
 	Queries uint64
 	Sweeps  uint64
-	Graph   *graph.Graph
+	// Epoch is the Index's edit-generation counter at save time, so a
+	// warm boot resumes the mutation history where the saved process
+	// left it (format v3).
+	Epoch uint64
+	Graph *graph.Graph
 
 	Clusters []ClusterArtifact
 	Plain    []CoverArtifact
@@ -394,6 +398,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	encodeOptions(&e, s.Options)
 	e.u64(s.Queries)
 	e.u64(s.Sweeps)
+	e.u64(s.Epoch)
 	if err := writeSection(w, tagMeta, e.b); err != nil {
 		return err
 	}
@@ -466,6 +471,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	s.Options = decodeOptions(d)
 	s.Queries = d.u64()
 	s.Sweeps = d.u64()
+	s.Epoch = d.u64()
 	if pinned > 1 {
 		d.fail("bad pinned flag %d", pinned)
 	}

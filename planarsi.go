@@ -64,6 +64,14 @@
 // and approximate memory footprint — the accounting the planarsid
 // daemon's LRU eviction budgets against (see cmd/planarsid).
 //
+// Live graphs: Index.ApplyEdits mutates the target in place with a batch
+// of edge insertions and deletions, advancing an edit epoch. Migration is
+// copy-on-write and band-granular — artifacts the edit did not touch are
+// retained verbatim, the rest rebuild through the fresh-build path — so
+// post-edit answers are byte-identical to a fresh NewIndex on the edited
+// graph, while queries already in flight drain consistently against the
+// pre-edit generation. See EditBatch, EditResult, and Index.Epoch.
+//
 // Yes-answers (found occurrences, reported cuts) are always exact and can
 // be re-checked with VerifyOccurrence / the returned witnesses;
 // no-answers are correct with high probability, with failure probability
@@ -233,6 +241,39 @@ type IndexStats = index.Stats
 func NewIndex(g *Graph, opt Options) *Index {
 	return index.New(g, opt.core())
 }
+
+// EditBatch is one atomic set of edge insertions and deletions for
+// Index.ApplyEdits: removals apply before additions, validation is
+// all-or-nothing, and the optional RequirePlanar / IfEpoch fields gate
+// the batch on planarity and on optimistic epoch matching. See
+// Index.ApplyEdits for the consistency contract.
+type EditBatch = index.EditBatch
+
+// EditResult describes one applied edit batch: the Index's new epoch and
+// how much of the memoized artifact state the migration kept verbatim vs
+// rebuilt, per artifact class and per band.
+type EditResult = index.EditResult
+
+// EditClassDelta is one artifact class's kept/rebuilt split in an
+// EditResult.
+type EditClassDelta = index.ClassDelta
+
+// IndexInvalidationStats is one artifact class's lifetime tally of
+// edit-migration invalidations vs retentions (Index.InvalidationStats).
+type IndexInvalidationStats = index.InvalidationStats
+
+// ErrEdit reports an edit batch that failed validation (unknown vertex,
+// self-loop, adding a present edge, removing an absent one). The target
+// is left unchanged.
+var ErrEdit = graph.ErrEdit
+
+// ErrEpochConflict reports an edit batch whose IfEpoch condition no
+// longer matched the Index's epoch: a concurrent editor won the race.
+var ErrEpochConflict = index.ErrEpochConflict
+
+// ErrNonPlanarEdit reports an edit batch rejected because RequirePlanar
+// was set and the edited graph would not be planar.
+var ErrNonPlanarEdit = index.ErrNonPlanarEdit
 
 // LoadIndex restores an Index from a snapshot previously written with
 // Index.Save: the target graph, options and every completed cached

@@ -32,71 +32,22 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+. scripts/lib.sh
 
 go build ${RACE:+-race} -o "$tmp/planarsid" ./cmd/planarsid
 go build ${RACE:+-race} -o "$tmp/planarsiload" ./cmd/planarsiload
+write_grid3_fixture "$tmp/grid.edges"
 
-cat > "$tmp/grid.edges" <<'EOF'
-n 9
-0 1
-1 2
-3 4
-4 5
-6 7
-7 8
-0 3
-3 6
-1 4
-4 7
-2 5
-5 8
-EOF
-
-fail() { echo "chaos-smoke: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
-check() { # check <name> <expected-fragment> <actual>
-    case "$3" in
-        *"$2"*) echo "chaos-smoke: $1 ok" ;;
-        *) fail "$1" "$3" ;;
-    esac
-}
-
-# req <outfile> <path> [json-body]: POST (or GET /metrics-style paths via
-# -d omission still POSTs; fine for this script), body to outfile, echo
-# the HTTP status. Never uses -f: non-2xx statuses are the point here.
-req() {
-    curl -s -o "$1" -D "$tmp/hdr" -w '%{http_code}' \
-        -X POST "http://$addr$2" ${3:+-d "$3"}
-}
-
-# boot <snapdir> [extra flags...]: start the daemon on an ephemeral port
-# (flags repeat last-wins, so legs may override the defaults below),
-# parse the resolved address from the log, poll /healthz until ready.
+# boot <snapdir> [extra flags...]: this script's daemon configuration
+# (flags repeat last-wins, so legs may override the defaults below) on
+# top of the shared ephemeral-port boot helper.
 boot() {
     snapdir=$1; shift
-    : > "$tmp/log"
-    "$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" \
+    boot_daemon -graph grid="$tmp/grid.edges" \
         -window 0 -breaker-fails 2 -breaker-cooldown 1s \
-        -snapshot-dir "$snapdir" "$@" > "$tmp/log" 2>&1 &
-    pid=$!
-    addr=""
-    for _ in $(seq 1 100); do
-        addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
-        if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.1
-    done
-    echo "chaos-smoke: daemon did not become ready"; cat "$tmp/log"; exit 1
+        -snapshot-dir "$snapdir" "$@"
 }
-
-stop() {
-    kill -TERM "$pid"
-    rc=0; wait "$pid" || rc=$?
-    pid=""
-    if [ "$rc" -ne 0 ]; then
-        echo "chaos-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
-    fi
-}
+stop() { stop_daemon; }
 
 c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
 c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
@@ -113,14 +64,6 @@ check "baseline answers" '"count":32' "$(cat "$tmp/base.count")"
 stop
 echo "chaos-smoke: baseline captured"
 
-# same_bytes <name> <path> <json> <baseline-file>: the recovered answer
-# must be byte-identical to the fault-free baseline.
-same_bytes() {
-    st=$(req "$tmp/now" "$2" "$3"); [ "$st" = 200 ] || fail "$1 status" "$st"
-    cmp -s "$tmp/now" "$4" || fail "$1 byte-identity" "$(cat "$tmp/now") != $(cat "$4")"
-    echo "chaos-smoke: $1 byte-identical ok"
-}
-
 # ---- Leg 1: panic storm -> breaker lifecycle -> byte-identical recovery.
 # query.panic fires at the index boundary (before the cover build), so
 # queries 1 and 2 panic without touching the band DPs; the half-open
@@ -133,7 +76,11 @@ st=$(req "$tmp/q1" /decide "$c4"); [ "$st" = 500 ] || fail "q1 status (want 500)
 check "q1 incident id" '"incident":"inc-' "$(cat "$tmp/q1")"
 st=$(req "$tmp/q2" /decide "$c4"); [ "$st" = 500 ] || fail "q2 status (want 500)" "$st"
 check "q2 incident id" '"incident":"inc-' "$(cat "$tmp/q2")"
-check "incident stack logged" 'query panic' "$(cat "$tmp/log")"
+# Incidents land as structured records: the injected panic value plus
+# the full goroutine stack. (The fragment tracks slog's key=value text
+# format, not the legacy IncidentLogf flat format.)
+check "incident panic logged" 'panic="fault: injected panic at query.panic' "$(cat "$tmp/log")"
+check "incident stack logged" 'stack="goroutine' "$(cat "$tmp/log")"
 
 st=$(req "$tmp/q3" /decide "$c4"); [ "$st" = 503 ] || fail "q3 status (want 503, breaker open)" "$st"
 grep -qi '^retry-after:' "$tmp/hdr" || fail "q3 Retry-After header" "$(cat "$tmp/hdr")"

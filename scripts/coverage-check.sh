@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# coverage-check: run the full test suite with a coverage profile and
+# enforce the ratcheted floor (used by `make coverage` and the CI
+# coverage job, which also uploads the profile as an artifact).
+#
+# The floor is a ratchet, not a target: it sits a couple of points below
+# the measured total so unrelated churn doesn't flake the job, and it
+# only ever moves UP — when a PR meaningfully raises total coverage,
+# raise the floor to trail it. Lowering the floor is a red flag in
+# review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOOR=${COVERAGE_FLOOR:-70.0}
+profile=${1:-coverage.out}
+
+go test -count=1 -coverprofile="$profile" ./...
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+[ -n "$total" ] || { echo "coverage-check: no total in $profile"; exit 1; }
+
+# awk does the float compare; [ ] only handles integers.
+if awk -v t="$total" -v f="$FLOOR" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage-check: FAIL — total coverage $total% is below the $FLOOR% floor"
+    echo "coverage-check: per-function profile (worst offenders):"
+    go tool cover -func="$profile" | sort -t$'\t' -k3 -n | head -20
+    exit 1
+fi
+echo "coverage-check: ok — total coverage $total% (floor $FLOOR%)"

@@ -1,0 +1,99 @@
+# lib.sh — shared helpers for the smoke scripts (serve-smoke,
+# chaos-smoke, mutation-smoke). Source after setting up:
+#
+#   tmp=$(mktemp -d)
+#   pid=""
+#   trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+#   . "$(dirname "$0")/lib.sh"
+#
+# Callers build the daemon to "$tmp/planarsid" themselves (flags like
+# RACE differ per script). $SMOKE prefixes every message and defaults to
+# the calling script's name.
+
+SMOKE=${SMOKE:-$(basename "$0" .sh)}
+
+fail() { echo "$SMOKE: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
+
+check() { # check <name> <expected-fragment> <actual>
+    case "$3" in
+        *"$2"*) echo "$SMOKE: $1 ok" ;;
+        *) fail "$1" "$3" ;;
+    esac
+}
+
+# write_grid3_fixture <file>: the canonical 3x3 grid host (9 vertices,
+# 12 edges; C4 count 32 at seed 1, no triangles, connectivity 2).
+write_grid3_fixture() {
+    cat > "$1" <<'EOF'
+n 9
+0 1
+1 2
+3 4
+4 5
+6 7
+7 8
+0 3
+3 6
+1 4
+4 7
+2 5
+5 8
+EOF
+}
+
+# gen_grid_edges <rows> <cols>: an RxC grid as edge-list text on stdout,
+# horizontals row-major then verticals — a fixed order, so a second
+# graph registered from the same stream is built bit-identically.
+gen_grid_edges() {
+    awk -v r="$1" -v c="$2" 'BEGIN{
+        for (i = 0; i < r; i++) for (j = 0; j+1 < c; j++) print i*c+j, i*c+j+1;
+        for (i = 0; i+1 < r; i++) for (j = 0; j < c; j++) print i*c+j, (i+1)*c+j;
+    }'
+}
+
+# boot_daemon <flags...>: start "$tmp/planarsid" on an ephemeral port
+# with the given flags, parse the resolved address from the log into
+# $addr, and poll /healthz until the daemon actually serves — no fixed
+# sleeps, no bind collisions when CI jobs run in parallel.
+boot_daemon() {
+    : > "$tmp/log"
+    "$tmp/planarsid" -addr 127.0.0.1:0 "$@" > "$tmp/log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        # Anchor on the daemon's own line — "debug/pprof listening on"
+        # may appear first when -debug-addr is set.
+        addr=$(sed -n 's/.*planarsid: listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
+        if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "$SMOKE: daemon did not become ready"; cat "$tmp/log"; exit 1
+}
+
+# stop_daemon: graceful shutdown, asserting a clean exit.
+stop_daemon() {
+    kill -TERM "$pid"
+    rc=0; wait "$pid" || rc=$?
+    pid=""
+    if [ "$rc" -ne 0 ]; then
+        echo "$SMOKE: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
+    fi
+}
+
+# req <outfile> <path> [json-body]: POST, body to outfile, headers to
+# "$tmp/hdr", echo the HTTP status. Never uses -f: non-2xx statuses are
+# often the point.
+req() {
+    curl -s -o "$1" -D "$tmp/hdr" -w '%{http_code}' \
+        -X POST "http://$addr$2" ${3:+-d "$3"}
+}
+
+# same_bytes <name> <path> <json> <baseline-file>: the answer must be
+# byte-identical to the captured baseline.
+same_bytes() {
+    st=$(req "$tmp/now" "$2" "$3"); [ "$st" = 200 ] || fail "$1 status" "$st"
+    cmp -s "$tmp/now" "$4" || fail "$1 byte-identity" "$(cat "$tmp/now") != $(cat "$4")"
+    echo "$SMOKE: $1 byte-identical ok"
+}

@@ -6,71 +6,24 @@
 # The host is the 3x3 grid, small enough that every expected answer is
 # known exactly: C4 occurs (32 occurrences at seed 1, counting
 # automorphic images), the triangle does not, and the connectivity is 2.
-#
-# Ports are never fixed: the daemon binds 127.0.0.1:0 and the script
-# reads the resolved address from the log, then polls /healthz until the
-# daemon actually serves — no fixed sleeps, no bind collisions when CI
-# jobs run in parallel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+. scripts/lib.sh
 
 go build -o "$tmp/planarsid" ./cmd/planarsid
+write_grid3_fixture "$tmp/grid.edges"
 
-cat > "$tmp/grid.edges" <<'EOF'
-n 9
-0 1
-1 2
-3 4
-4 5
-6 7
-7 8
-0 3
-3 6
-1 4
-4 7
-2 5
-5 8
-EOF
-
-fail() { echo "serve-smoke: $1 FAILED: got '$2'"; cat "$tmp/log"; exit 1; }
-check() { # check <name> <expected-fragment> <actual>
-    case "$3" in
-        *"$2"*) echo "serve-smoke: $1 ok" ;;
-        *) fail "$1" "$3" ;;
-    esac
-}
-
-# boot <extra flags...>: start the daemon on an ephemeral port, parse
-# the resolved address from the log, and poll /healthz until ready.
+# boot <extra flags...>: this script's daemon configuration on top of
+# the shared ephemeral-port boot helper.
 boot() {
-    : > "$tmp/log"
-    "$tmp/planarsid" -addr 127.0.0.1:0 -graph grid="$tmp/grid.edges" \
-        -window 5ms -snapshot-dir "$tmp/snaps" "$@" > "$tmp/log" 2>&1 &
-    pid=$!
-    addr=""
-    for _ in $(seq 1 100); do
-        addr=$(sed -n 's/.*planarsid: listening on \([0-9.:]*\)$/\1/p' "$tmp/log" | head -1)
-        if [ -n "$addr" ] && curl -sf --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.1
-    done
-    echo "serve-smoke: daemon did not become ready"; cat "$tmp/log"; exit 1
+    boot_daemon -graph grid="$tmp/grid.edges" -window 5ms \
+        -snapshot-dir "$tmp/snaps" "$@"
 }
-
-# stop: graceful shutdown, asserting a clean exit.
-stop() {
-    kill -TERM "$pid"
-    rc=0; wait "$pid" || rc=$?
-    pid=""
-    if [ "$rc" -ne 0 ]; then
-        echo "serve-smoke: graceful shutdown FAILED (exit $rc)"; cat "$tmp/log"; exit 1
-    fi
-}
+stop() { stop_daemon; }
 
 c4='{"graph":"grid","pattern":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
 c3='{"graph":"grid","pattern":{"n":3,"edges":[[0,1],[1,2],[2,0]]}}'
@@ -127,6 +80,7 @@ echo "serve-smoke: metrics ok (decide ok=$decide_ok)"
 
 # Introspection families added by the cost/trace work are all present.
 check "metrics memo" 'planarsi_index_memo_hits_total{class="cover",graph="grid"}' "$metrics"
+check "metrics epoch" 'planarsi_index_epoch{graph="grid"} 0' "$metrics"
 check "metrics pool" 'planarsi_pool_steals_total' "$metrics"
 check "metrics trace-dropped" 'planarsi_trace_dropped_total' "$metrics"
 check "metrics go runtime" 'planarsi_go_goroutines' "$metrics"
